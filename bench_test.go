@@ -1,0 +1,190 @@
+package amac_test
+
+import (
+	"fmt"
+	"testing"
+
+	"amac"
+)
+
+// ---------------------------------------------------------------------------
+// One benchmark per paper artifact. Each iteration regenerates the artifact
+// at smoke scale through the same code path as `amacbench -exp <id>`; use
+// `go run ./cmd/amacbench -exp <id> -scale small` for report-quality numbers
+// (EXPERIMENTS.md records those next to the paper's values).
+// ---------------------------------------------------------------------------
+
+func benchmarkExperiment(b *testing.B, id string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := amac.RunExperiment(id, amac.ExperimentConfig{Scale: amac.TinyScale, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B)        { benchmarkExperiment(b, "fig3") }
+func BenchmarkTable3(b *testing.B)      { benchmarkExperiment(b, "table3") }
+func BenchmarkFig5a(b *testing.B)       { benchmarkExperiment(b, "fig5a") }
+func BenchmarkFig5b(b *testing.B)       { benchmarkExperiment(b, "fig5b") }
+func BenchmarkFig6(b *testing.B)        { benchmarkExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)        { benchmarkExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)        { benchmarkExperiment(b, "fig8") }
+func BenchmarkTable4(b *testing.B)      { benchmarkExperiment(b, "table4") }
+func BenchmarkFig9(b *testing.B)        { benchmarkExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)       { benchmarkExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)       { benchmarkExperiment(b, "fig11") }
+func BenchmarkFig12a(b *testing.B)      { benchmarkExperiment(b, "fig12a") }
+func BenchmarkFig12b(b *testing.B)      { benchmarkExperiment(b, "fig12b") }
+func BenchmarkFig13(b *testing.B)       { benchmarkExperiment(b, "fig13") }
+func BenchmarkAblInflight(b *testing.B) { benchmarkExperiment(b, "abl-inflight") }
+func BenchmarkAblRefill(b *testing.B)   { benchmarkExperiment(b, "abl-refill") }
+func BenchmarkAblMSHR(b *testing.B)     { benchmarkExperiment(b, "abl-mshr") }
+
+// ---------------------------------------------------------------------------
+// Technique micro-benchmarks: wall-clock cost of simulating one probe,
+// with the simulated cycles-per-tuple reported as a custom metric so the
+// paper's headline comparison is visible directly in the benchmark output.
+// ---------------------------------------------------------------------------
+
+func benchmarkProbe(b *testing.B, tech amac.Technique, zipfBuild float64) {
+	const size = 1 << 16
+	build, probe, err := amac.BuildJoin(amac.JoinSpec{BuildSize: size, ProbeSize: size, ZipfBuild: zipfBuild, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	join := amac.NewHashJoin(build, probe)
+	join.PrebuildRaw()
+
+	var simCycles float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := amac.MustSystem(amac.XeonX5670())
+		core := sys.NewCore()
+		out := amac.NewOutput(join.Arena, false)
+		amac.RunWith(core, join.ProbeMachine(out, zipfBuild == 0), tech, amac.Params{Window: 10})
+		simCycles = float64(core.Cycle()) / float64(probe.Len())
+	}
+	b.ReportMetric(simCycles, "simcycles/tuple")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(probe.Len()), "ns/lookup")
+}
+
+func BenchmarkProbeUniform(b *testing.B) {
+	for _, tech := range amac.Techniques {
+		b.Run(tech.String(), func(b *testing.B) { benchmarkProbe(b, tech, 0) })
+	}
+}
+
+func BenchmarkProbeSkewed(b *testing.B) {
+	for _, tech := range amac.Techniques {
+		b.Run(tech.String(), func(b *testing.B) { benchmarkProbe(b, tech, 1.0) })
+	}
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	rel, err := amac.BuildGroupBy(amac.GroupBySpec{Size: 1 << 15, Repeats: 3, Zipf: 0.5, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tech := range amac.Techniques {
+		b.Run(tech.String(), func(b *testing.B) {
+			var simCycles float64
+			for i := 0; i < b.N; i++ {
+				g := amac.NewGroupBy(rel, rel.Len()/3)
+				sys := amac.MustSystem(amac.XeonX5670())
+				core := sys.NewCore()
+				amac.RunWith(core, g.Machine(), tech, amac.Params{Window: 10})
+				simCycles = float64(core.Cycle()) / float64(rel.Len())
+			}
+			b.ReportMetric(simCycles, "simcycles/tuple")
+		})
+	}
+}
+
+func BenchmarkBSTSearch(b *testing.B) {
+	build, probe, err := amac.BuildIndexWorkload(1<<15, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := amac.NewBSTWorkload(build, probe)
+	for _, tech := range amac.Techniques {
+		b.Run(tech.String(), func(b *testing.B) {
+			var simCycles float64
+			for i := 0; i < b.N; i++ {
+				sys := amac.MustSystem(amac.XeonX5670())
+				core := sys.NewCore()
+				out := amac.NewOutput(w.Arena, false)
+				amac.RunWith(core, w.SearchMachine(out), tech, amac.Params{Window: 10})
+				simCycles = float64(core.Cycle()) / float64(probe.Len())
+			}
+			b.ReportMetric(simCycles, "simcycles/lookup")
+		})
+	}
+}
+
+func BenchmarkSkipList(b *testing.B) {
+	build, probe, err := amac.BuildIndexWorkload(1<<14, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, op := range []string{"Search", "Insert"} {
+		for _, tech := range amac.Techniques {
+			b.Run(fmt.Sprintf("%s/%s", op, tech), func(b *testing.B) {
+				var simCycles float64
+				for i := 0; i < b.N; i++ {
+					w := amac.NewSkipListWorkload(build, probe)
+					sys := amac.MustSystem(amac.XeonX5670())
+					core := sys.NewCore()
+					if op == "Search" {
+						w.PrebuildRaw(9)
+						out := amac.NewOutput(w.Arena, false)
+						amac.RunWith(core, w.SearchMachine(out), tech, amac.Params{Window: 10})
+						simCycles = float64(core.Cycle()) / float64(probe.Len())
+					} else {
+						amac.RunWith(core, w.InsertMachine(9), tech, amac.Params{Window: 10})
+						simCycles = float64(core.Cycle()) / float64(build.Len())
+					}
+				}
+				b.ReportMetric(simCycles, "simcycles/op")
+			})
+		}
+	}
+}
+
+// BenchmarkSimulatorLoad measures the raw cost of the memory-hierarchy model
+// itself (the substrate every other number is built on).
+func BenchmarkSimulatorLoad(b *testing.B) {
+	sys := amac.MustSystem(amac.XeonX5670())
+	core := sys.NewCore()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.Load(amac.Addr((i%(1<<20))*64+64), 8)
+	}
+}
+
+// BenchmarkSimulatorPrefetch measures the cost of issuing software prefetches.
+func BenchmarkSimulatorPrefetch(b *testing.B) {
+	sys := amac.MustSystem(amac.XeonX5670())
+	core := sys.NewCore()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.Prefetch(amac.Addr((i%(1<<20))*64 + 64))
+		if i%4 == 3 {
+			core.Load(amac.Addr((i%(1<<20))*64+64), 8)
+		}
+	}
+}
+
+// BenchmarkWorkloadGeneration measures relation generation (Zipf sampling and
+// shuffling), which bounds how quickly large experiments can start.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := amac.BuildJoin(amac.JoinSpec{BuildSize: 1 << 16, ProbeSize: 1 << 16, ZipfBuild: 0.75, Seed: uint64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command amacbench regenerates the tables and figures of the AMAC paper
+// (Kocberber, Falsafi, Grot: "Asynchronous Memory Access Chaining", VLDB
+// 2015) on the simulated memory hierarchy.
+//
+// Usage:
+//
+//	amacbench -list                     # show every experiment id
+//	amacbench -exp fig5b                # regenerate one artifact
+//	amacbench -exp all                  # regenerate everything
+//	amacbench -exp fig7 -scale tiny     # quick smoke run
+//	amacbench -exp fig6 -window 15      # override the in-flight lookups
+//
+// Results are printed as aligned text tables whose rows and columns mirror
+// the paper's artifacts; EXPERIMENTS.md records the paper-reported values
+// next to the measured ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"amac/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments and exit")
+		exp    = flag.String("exp", "", "experiment id to run, or \"all\"")
+		scale  = flag.String("scale", "small", "dataset scale: tiny, small or paper")
+		seed   = flag.Uint64("seed", 42, "workload generation seed")
+		window = flag.Int("window", 0, "override the number of in-flight lookups (0 = per-experiment default)")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("Available experiments:")
+		for _, d := range experiments.Registry() {
+			fmt.Printf("  %-12s %s\n", d.ID, d.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Scale: sc, Seed: *seed, Window: *window}
+
+	var ids []string
+	if *exp == "all" {
+		for _, d := range experiments.Registry() {
+			ids = append(ids, d.ID)
+		}
+	} else {
+		ids = []string{*exp}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Render(os.Stdout)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

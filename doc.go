@@ -1,0 +1,30 @@
+// Package amac is a from-scratch reproduction of "Asynchronous Memory
+// Access Chaining" (Kocberber, Falsafi, Grot — VLDB 2015) as a reusable Go
+// library.
+//
+// AMAC is a software technique for hiding memory latency in pointer-chasing
+// database operators (hash joins, group-by, index search): instead of
+// statically grouping or pipelining independent lookups — the prior
+// Group Prefetching and Software-Pipelined Prefetching approaches — AMAC
+// keeps each in-flight lookup's state in a slot of a small circular buffer
+// and switches between lookups every time one of them issues a memory
+// access. Because the lookups never wait for each other, irregular work
+// (variable-length chains, early exits, latch conflicts) does not reduce the
+// memory-level parallelism the core sustains.
+//
+// Go has no portable prefetch intrinsic, so this library reproduces the
+// paper on a deterministic, cycle-accounting model of the two machines the
+// paper evaluates (an Intel Xeon x5670 socket and a SPARC T4 socket); see
+// DESIGN.md for the substitution argument. The library exposes four layers:
+//
+//   - the simulated hardware (System, Core, XeonX5670, SPARCT4),
+//   - the execution engines (Baseline, GP, SPP, and the AMAC scheduler Run),
+//     which schedule user-defined stage Machines,
+//   - the paper's operators and workloads (hash join, group-by, BST search,
+//     skip list search/insert) ready to run under any engine,
+//   - the experiment harness that regenerates every table and figure of the
+//     paper's evaluation (Experiments, RunExperiment; also exposed through
+//     cmd/amacbench).
+//
+// The examples directory contains runnable programs for each layer.
+package amac

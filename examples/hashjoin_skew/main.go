@@ -1,0 +1,62 @@
+// Command hashjoin_skew reproduces the paper's headline result on a single
+// workload: software prefetching techniques that statically group or
+// pipeline lookups (GP, SPP) lose their advantage when the build relation's
+// keys are skewed — because skewed keys produce buckets with long, irregular
+// chains — while AMAC keeps its full advantage.
+//
+// It probes the same 2^19-tuple hash join with build-key Zipf factors 0,
+// 0.5 and 1.0 and prints probe cycles per tuple plus each technique's
+// speedup over the no-prefetch baseline (compare with Figure 5b of the
+// paper).
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"amac"
+)
+
+func main() {
+	const size = 1 << 19
+	skews := []float64{0, 0.5, 1.0}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "build skew\ttechnique\tcycles/tuple\tspeedup vs baseline\tmatches")
+
+	for _, z := range skews {
+		build, probe, err := amac.BuildJoin(amac.JoinSpec{
+			BuildSize: size, ProbeSize: size, ZipfBuild: z, Seed: 7,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		join := amac.NewHashJoin(build, probe)
+		join.PrebuildRaw()
+
+		var baseline float64
+		for _, tech := range amac.Techniques {
+			sys := amac.MustSystem(amac.XeonX5670())
+			core := sys.NewCore()
+			out := amac.NewOutput(join.Arena, false)
+
+			// With skewed (non-unique) build keys a probe must scan the
+			// whole chain; with unique keys it can exit at the first match.
+			earlyExit := z == 0
+			amac.RunWith(core, join.ProbeMachine(out, earlyExit), tech, amac.Params{Window: 10})
+
+			cpt := float64(core.Cycle()) / float64(probe.Len())
+			if tech == amac.Baseline {
+				baseline = cpt
+			}
+			fmt.Fprintf(w, "Zipf %.1f\t%s\t%.0f\t%.2fx\t%d\n", z, tech, cpt, baseline/cpt, out.Count)
+		}
+		fmt.Fprintln(w, "\t\t\t\t")
+	}
+	w.Flush()
+
+	fmt.Println("under skew (Zipf 1.0) the static techniques lose most of their advantage;")
+	fmt.Println("AMAC's per-lookup state lets it keep the memory-level parallelism high.")
+}

@@ -1,0 +1,74 @@
+// Command indexsearch runs the paper's two index workloads — binary search
+// tree lookups and Pugh skip list lookups — under all four techniques. Both
+// are dependent pointer chases whose length varies per lookup (tree depth,
+// skip list level walks), the irregularity that AMAC handles gracefully
+// (compare with Figures 10, 11 and 13 of the paper).
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"amac"
+)
+
+func main() {
+	const size = 1 << 17
+
+	build, probe, err := amac.BuildIndexWorkload(size, 3)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "index\ttechnique\tcycles/lookup\tspeedup vs baseline\tfound")
+
+	// Binary search tree: one dependent access per level.
+	bst := amac.NewBSTWorkload(build, probe)
+	var baseline float64
+	for _, tech := range amac.Techniques {
+		sys := amac.MustSystem(amac.XeonX5670())
+		core := sys.NewCore()
+		out := amac.NewOutput(bst.Arena, false)
+		amac.RunWith(core, bst.SearchMachine(out), tech, amac.Params{Window: 10})
+		cpt := float64(core.Cycle()) / float64(probe.Len())
+		if tech == amac.Baseline {
+			baseline = cpt
+		}
+		fmt.Fprintf(w, "BST (%d nodes)\t%s\t%.0f\t%.2fx\t%d\n", size, tech, cpt, baseline/cpt, out.Count)
+	}
+	fmt.Fprintln(w, "\t\t\t\t")
+
+	// Skip list: search the pre-built list, then build one from scratch with
+	// the insert operator.
+	sl := amac.NewSkipListWorkload(build, probe)
+	sl.PrebuildRaw(3)
+	for _, tech := range amac.Techniques {
+		sys := amac.MustSystem(amac.XeonX5670())
+		core := sys.NewCore()
+		out := amac.NewOutput(sl.Arena, false)
+		amac.RunWith(core, sl.SearchMachine(out), tech, amac.Params{Window: 10})
+		cpt := float64(core.Cycle()) / float64(probe.Len())
+		if tech == amac.Baseline {
+			baseline = cpt
+		}
+		fmt.Fprintf(w, "skip list search (%d elems)\t%s\t%.0f\t%.2fx\t%d\n", size, tech, cpt, baseline/cpt, out.Count)
+	}
+	fmt.Fprintln(w, "\t\t\t\t")
+
+	for _, tech := range amac.Techniques {
+		fresh := amac.NewSkipListWorkload(build, probe)
+		sys := amac.MustSystem(amac.XeonX5670())
+		core := sys.NewCore()
+		m := fresh.InsertMachine(3)
+		amac.RunWith(core, m, tech, amac.Params{Window: 10})
+		cpt := float64(core.Cycle()) / float64(build.Len())
+		if tech == amac.Baseline {
+			baseline = cpt
+		}
+		fmt.Fprintf(w, "skip list insert (%d elems)\t%s\t%.0f\t%.2fx\t%d\n", size, tech, cpt, baseline/cpt, m.Inserted)
+	}
+	w.Flush()
+}

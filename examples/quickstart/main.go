@@ -1,0 +1,62 @@
+// Command quickstart is the five-minute tour of the library: it builds a
+// hash-join workload, probes it with all four execution techniques of the
+// AMAC paper (no-prefetch baseline, Group Prefetching, Software-Pipelined
+// Prefetching, and AMAC) on a simulated Xeon x5670, verifies that all four
+// produce identical join results, and prints the cycles-per-tuple comparison.
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"amac"
+)
+
+func main() {
+	// A foreign-key join: 2^18 build tuples, 2^18 probe tuples, uniform keys.
+	build, probe, err := amac.BuildJoin(amac.JoinSpec{
+		BuildSize: 1 << 18,
+		ProbeSize: 1 << 18,
+		Seed:      42,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	join := amac.NewHashJoin(build, probe)
+	join.PrebuildRaw() // populate the hash table outside the measured phase
+	wantCount, wantChecksum := join.ReferenceJoin()
+
+	fmt.Printf("hash join: |R| = |S| = %d tuples (%d MB each)\n\n", build.Len(), build.Bytes()>>20)
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "technique\tcycles/tuple\tinstructions/tuple\tIPC\tspeedup vs baseline")
+
+	var baselineCycles float64
+	for _, tech := range amac.Techniques {
+		sys := amac.MustSystem(amac.XeonX5670())
+		core := sys.NewCore()
+		out := amac.NewOutput(join.Arena, false)
+
+		amac.RunWith(core, join.ProbeMachine(out, true), tech, amac.Params{Window: 10})
+
+		if out.Count != wantCount || out.Checksum != wantChecksum {
+			fmt.Fprintf(os.Stderr, "%s produced wrong results!\n", tech)
+			os.Exit(1)
+		}
+
+		stats := core.Stats()
+		cpt := float64(stats.Cycles) / float64(probe.Len())
+		ipt := float64(stats.Instructions) / float64(probe.Len())
+		if tech == amac.Baseline {
+			baselineCycles = cpt
+		}
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.2f\t%.2fx\n", tech, cpt, ipt, stats.IPC(), baselineCycles/cpt)
+	}
+	w.Flush()
+
+	fmt.Println("\nall four techniques returned identical join output",
+		"(", wantCount, "matches ) — they differ only in how they schedule memory accesses.")
+}

@@ -1,0 +1,203 @@
+// Package arena provides the simulated address space that every data
+// structure in this repository lives in.
+//
+// The AMAC paper's data structures (hash table buckets, tree nodes, skip list
+// towers) are ordinary C structs aligned to 64-byte cache lines. Here they
+// are byte ranges inside an Arena: allocation returns an abstract address,
+// typed accessors read and write the bytes, and the memory-hierarchy
+// simulator (package memsim) charges time for the same addresses. Keeping
+// the data in a flat, explicitly addressed space — rather than in Go objects —
+// is what lets the simulator reason about cache lines, and it also removes
+// the Go garbage collector from the measured path.
+package arena
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"amac/internal/memsim"
+)
+
+// Addr is re-exported so that data-structure packages can use a single
+// address type with both the arena and the simulator.
+type Addr = memsim.Addr
+
+// DefaultChunkBytes is the allocation granularity of the arena's backing
+// storage. Individual allocations may not exceed it.
+const DefaultChunkBytes = 1 << 20
+
+// Arena is a bump allocator over a simulated address space. The zero address
+// is never handed out, so data structures can use 0 as a nil pointer.
+// An Arena is not safe for concurrent mutation.
+type Arena struct {
+	chunkBytes uint64
+	chunks     [][]byte
+	top        uint64 // next free address
+	allocs     uint64
+	wasted     uint64 // bytes lost to alignment and chunk padding
+}
+
+// New returns an empty arena with the default chunk size.
+func New() *Arena { return NewWithChunkSize(DefaultChunkBytes) }
+
+// NewWithChunkSize returns an empty arena whose backing storage grows in
+// chunks of the given size (must be a positive multiple of the cache-line
+// size). Small chunk sizes are useful in tests.
+func NewWithChunkSize(chunkBytes int) *Arena {
+	if chunkBytes <= 0 || chunkBytes%memsim.LineSize != 0 {
+		panic(fmt.Sprintf("arena: chunk size %d must be a positive multiple of %d", chunkBytes, memsim.LineSize))
+	}
+	return &Arena{
+		chunkBytes: uint64(chunkBytes),
+		// Skip the first cache line so address 0 is never allocated.
+		top: memsim.LineSize,
+	}
+}
+
+// Alloc reserves size bytes aligned to align (a power of two no larger than
+// the chunk size) and returns the address of the first byte. The returned
+// memory is zeroed. Alloc panics on invalid arguments, since those are
+// programming errors in this repository rather than user input.
+func (a *Arena) Alloc(size, align int) Addr {
+	if size <= 0 {
+		panic("arena: allocation size must be positive")
+	}
+	if align <= 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("arena: alignment %d must be a power of two", align))
+	}
+	if uint64(size) > a.chunkBytes {
+		panic(fmt.Sprintf("arena: allocation of %d bytes exceeds chunk size %d", size, a.chunkBytes))
+	}
+
+	pos := a.top
+	if rem := pos % uint64(align); rem != 0 {
+		pad := uint64(align) - rem
+		pos += pad
+		a.wasted += pad
+	}
+	// Never let an allocation straddle a chunk boundary: bump to the next
+	// chunk if it would.
+	if pos/a.chunkBytes != (pos+uint64(size)-1)/a.chunkBytes {
+		next := (pos/a.chunkBytes + 1) * a.chunkBytes
+		a.wasted += next - pos
+		pos = next
+	}
+
+	end := pos + uint64(size)
+	for uint64(len(a.chunks))*a.chunkBytes < end {
+		a.chunks = append(a.chunks, make([]byte, a.chunkBytes))
+	}
+	a.top = end
+	a.allocs++
+	return Addr(pos)
+}
+
+// AllocLines reserves n whole cache lines (64-byte aligned).
+func (a *Arena) AllocLines(n int) Addr {
+	return a.Alloc(n*memsim.LineSize, memsim.LineSize)
+}
+
+// AllocSpan reserves size bytes of contiguous, cache-line-aligned address
+// space, spanning as many chunks as needed. It is used for large arrays
+// (bucket directories, materialized relations) whose elements are addressed
+// by offset arithmetic.
+func (a *Arena) AllocSpan(size uint64) Addr {
+	if size == 0 {
+		panic("arena: AllocSpan of zero bytes")
+	}
+	if size <= a.chunkBytes {
+		return a.Alloc(int(size), memsim.LineSize)
+	}
+	// Start at a chunk boundary so that each chunk-sized piece the arena
+	// hands back is adjacent to the previous one.
+	first := a.Alloc(int(a.chunkBytes), int(a.chunkBytes))
+	remaining := size - a.chunkBytes
+	for remaining > 0 {
+		n := remaining
+		if n > a.chunkBytes {
+			n = a.chunkBytes
+		}
+		a.Alloc(int(n), memsim.LineSize)
+		remaining -= n
+	}
+	return first
+}
+
+// Size returns the number of bytes of address space handed out so far
+// (including alignment padding).
+func (a *Arena) Size() uint64 { return a.top }
+
+// Allocations returns the number of Alloc calls served.
+func (a *Arena) Allocations() uint64 { return a.allocs }
+
+// Wasted returns the number of bytes lost to alignment and chunk padding.
+func (a *Arena) Wasted() uint64 { return a.wasted }
+
+// slice returns the backing bytes for [addr, addr+size), which must lie
+// within one chunk and within allocated space.
+func (a *Arena) slice(addr Addr, size int) []byte {
+	pos := uint64(addr)
+	if size <= 0 || pos == 0 {
+		panic(fmt.Sprintf("arena: invalid access addr=%d size=%d", addr, size))
+	}
+	end := pos + uint64(size)
+	if end > a.top {
+		panic(fmt.Sprintf("arena: access [%d,%d) beyond allocated space %d", pos, end, a.top))
+	}
+	chunk := pos / a.chunkBytes
+	off := pos % a.chunkBytes
+	if off+uint64(size) > a.chunkBytes {
+		panic(fmt.Sprintf("arena: access [%d,%d) crosses a chunk boundary", pos, end))
+	}
+	return a.chunks[chunk][off : off+uint64(size)]
+}
+
+// ReadU64 reads a little-endian 64-bit value.
+func (a *Arena) ReadU64(addr Addr) uint64 {
+	return binary.LittleEndian.Uint64(a.slice(addr, 8))
+}
+
+// WriteU64 writes a little-endian 64-bit value.
+func (a *Arena) WriteU64(addr Addr, v uint64) {
+	binary.LittleEndian.PutUint64(a.slice(addr, 8), v)
+}
+
+// ReadI64 reads a signed 64-bit value.
+func (a *Arena) ReadI64(addr Addr) int64 { return int64(a.ReadU64(addr)) }
+
+// WriteI64 writes a signed 64-bit value.
+func (a *Arena) WriteI64(addr Addr, v int64) { a.WriteU64(addr, uint64(v)) }
+
+// ReadU32 reads a little-endian 32-bit value.
+func (a *Arena) ReadU32(addr Addr) uint32 {
+	return binary.LittleEndian.Uint32(a.slice(addr, 4))
+}
+
+// WriteU32 writes a little-endian 32-bit value.
+func (a *Arena) WriteU32(addr Addr, v uint32) {
+	binary.LittleEndian.PutUint32(a.slice(addr, 4), v)
+}
+
+// ReadU8 reads a single byte.
+func (a *Arena) ReadU8(addr Addr) uint8 { return a.slice(addr, 1)[0] }
+
+// WriteU8 writes a single byte.
+func (a *Arena) WriteU8(addr Addr, v uint8) { a.slice(addr, 1)[0] = v }
+
+// ReadAddr reads a stored address (pointer field).
+func (a *Arena) ReadAddr(addr Addr) Addr { return Addr(a.ReadU64(addr)) }
+
+// WriteAddr stores an address (pointer field).
+func (a *Arena) WriteAddr(addr Addr, v Addr) { a.WriteU64(addr, uint64(v)) }
+
+// ReadBytes copies size bytes starting at addr into a new slice.
+func (a *Arena) ReadBytes(addr Addr, size int) []byte {
+	out := make([]byte, size)
+	copy(out, a.slice(addr, size))
+	return out
+}
+
+// WriteBytes copies b into the arena starting at addr.
+func (a *Arena) WriteBytes(addr Addr, b []byte) {
+	copy(a.slice(addr, len(b)), b)
+}

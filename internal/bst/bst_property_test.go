@@ -1,0 +1,72 @@
+package bst
+
+import (
+	"testing"
+	"testing/quick"
+
+	"amac/internal/arena"
+	"amac/internal/xrand"
+)
+
+// TestRandomInsertSearchMatchesMap checks a random build against a map
+// reference, including searches for keys that were never inserted.
+func TestRandomInsertSearchMatchesMap(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		tr := New(arena.New())
+		ref := make(map[uint64]uint64)
+		for i := 0; i < 500; i++ {
+			key := rng.Uint64n(1000) + 1
+			if _, exists := ref[key]; exists {
+				continue // duplicate keys go right; searches would be ambiguous
+			}
+			payload := rng.Uint64()
+			tr.Insert(key, payload)
+			ref[key] = payload
+		}
+		for key := uint64(1); key <= 1000; key++ {
+			got, ok := tr.SearchRaw(key)
+			want, exists := ref[key]
+			if ok != exists || (ok && got != want) {
+				return false
+			}
+		}
+		return tr.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBSTOrderingInvariant: for every node, all keys in the left subtree are
+// smaller and all keys in the right subtree are greater or equal.
+func TestBSTOrderingInvariant(t *testing.T) {
+	rng := xrand.New(5)
+	tr := New(arena.New())
+	for i := 0; i < 4000; i++ {
+		tr.Insert(rng.Uint64n(1<<40), uint64(i))
+	}
+	type bound struct {
+		node     arena.Addr
+		min, max uint64
+	}
+	stack := []bound{{tr.Root(), 0, ^uint64(0)}}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b.node == 0 {
+			continue
+		}
+		k := tr.Key(b.node)
+		if k < b.min || k > b.max {
+			t.Fatalf("key %d violates subtree bounds [%d, %d]", k, b.min, b.max)
+		}
+		if l := tr.Left(b.node); l != 0 {
+			if k == 0 {
+				t.Fatal("zero key cannot bound a left subtree")
+			}
+			stack = append(stack, bound{l, b.min, k - 1})
+		}
+		stack = append(stack, bound{tr.Right(b.node), k, b.max})
+	}
+}

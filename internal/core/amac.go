@@ -1,0 +1,196 @@
+// Package core implements Asynchronous Memory Access Chaining (AMAC), the
+// contribution of Kocberber, Falsafi and Grot (VLDB 2015).
+//
+// AMAC keeps the full state of every in-flight lookup in its own slot of a
+// software-managed circular buffer (Figure 4 and Listing 1 of the paper).
+// The scheduler walks the buffer with a rolling counter; at each slot it
+// loads the lookup's state, jumps to the code stage recorded there, issues
+// the prefetch for that lookup's next memory access, and stores the state
+// back. Because every lookup is independent of every other lookup's
+// position in its own pointer chain:
+//
+//   - a lookup that finishes early is replaced by a fresh lookup in the same
+//     slot immediately (the paper's merged terminal/initial stage
+//     optimisation), so the number of in-flight memory accesses stays at the
+//     buffer size at all times,
+//   - a lookup that needs more accesses than the common case simply keeps
+//     its slot for more rounds — no bail-out path exists or is needed,
+//   - a lookup that cannot acquire a latch is skipped and retried the next
+//     time the rolling counter reaches its slot, so the thread spins at the
+//     granularity of the whole buffer rather than on a single latch.
+//
+// The engine schedules the same stage machines (package exec) as the
+// Baseline, Group Prefetching and Software-Pipelined Prefetching engines, so
+// comparisons across techniques exercise identical operator code.
+package core
+
+import (
+	"amac/internal/exec"
+	"amac/internal/memsim"
+)
+
+// CostStateSwap models AMAC's per-visit overhead: loading a state entry from
+// the circular buffer into registers, dispatching on its stage field, and
+// storing the updated state back (the paper's Table 3 measures AMAC at about
+// 1.5x the baseline instruction count; GP and SPP pay 2.5x and 1.9x).
+const CostStateSwap = 6
+
+// DefaultWidth is the default number of in-flight lookups. The paper finds
+// that performance saturates once the buffer covers the hardware's MLP limit
+// (10 L1-D MSHRs on the Xeon) and recommends values near it.
+const DefaultWidth = 10
+
+// Options tunes the AMAC scheduler.
+type Options struct {
+	// Width is the number of circular-buffer entries (in-flight lookups).
+	// Zero selects DefaultWidth.
+	Width int
+	// DisableImmediateRefill turns off the merged terminal/initial stage
+	// optimisation of Section 3.1: when a lookup completes, its slot stays
+	// empty until the rolling counter wraps around to it again. Used by the
+	// ablation experiments; the paper's AMAC always refills immediately.
+	DisableImmediateRefill bool
+}
+
+// slot is one circular-buffer entry. The lookup's operator-specific state
+// (key, rid, pointer, ...) lives in the parallel states slice owned by Run;
+// the slot records the scheduling fields.
+type slot struct {
+	busy    bool
+	stage   int
+	retries uint64
+}
+
+// Run executes every lookup of the machine using AMAC with the given
+// options and returns scheduling statistics.
+func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
+	width := opts.Width
+	if width <= 0 {
+		width = DefaultWidth
+	}
+	n := m.NumLookups()
+	if n == 0 {
+		return RunStats{Width: width}
+	}
+	if width > n {
+		width = n
+	}
+
+	var stats RunStats
+	stats.Width = width
+
+	states := make([]S, width)
+	slots := make([]slot, width)
+	next := 0 // next input lookup to initiate
+	live := 0 // slots holding unfinished lookups
+
+	// Prologue: fill the circular buffer, issuing one prefetch per lookup.
+	for k := 0; k < width && next < n; k++ {
+		c.Instr(CostStateSwap)
+		out := m.Init(c, &states[k], next)
+		next++
+		stats.Initiated++
+		issue(c, out)
+		if out.Done {
+			stats.Completed++
+			continue
+		}
+		slots[k] = slot{busy: true, stage: out.NextStage}
+		live++
+	}
+
+	// Main loop: the rolling counter k walks the buffer; each visit runs one
+	// code stage for the lookup stored in that slot.
+	k := 0
+	for live > 0 || next < n {
+		if k == width {
+			k = 0
+		}
+		s := &slots[k]
+		if !s.busy {
+			if next < n {
+				c.Instr(CostStateSwap)
+				out := m.Init(c, &states[k], next)
+				next++
+				stats.Initiated++
+				issue(c, out)
+				if out.Done {
+					stats.Completed++
+				} else {
+					*s = slot{busy: true, stage: out.NextStage}
+					live++
+				}
+			}
+			k++
+			continue
+		}
+
+		c.Instr(CostStateSwap)
+		out := m.Stage(c, &states[k], s.stage)
+		stats.StageVisits++
+		if out.Retry {
+			// Latch held by another in-flight lookup: remember the stage to
+			// re-execute and move on to the next slot (coarse-grained spin).
+			s.stage = out.NextStage
+			s.retries++
+			stats.Retries++
+			k++
+			continue
+		}
+		if !out.Done {
+			issue(c, out)
+			s.stage = out.NextStage
+			k++
+			continue
+		}
+
+		// The lookup completed. Initiate a new lookup in the same slot right
+		// away so an in-flight memory access is never wasted (unless the
+		// ablation disabled it or the input is exhausted).
+		stats.Completed++
+		live--
+		*s = slot{}
+		if !opts.DisableImmediateRefill && next < n {
+			c.Instr(CostStateSwap)
+			out := m.Init(c, &states[k], next)
+			next++
+			stats.Initiated++
+			issue(c, out)
+			if out.Done {
+				stats.Completed++
+			} else {
+				*s = slot{busy: true, stage: out.NextStage}
+				live++
+			}
+		}
+		k++
+	}
+	return stats
+}
+
+// issue forwards a stage's prefetch request to the core.
+func issue(c *memsim.Core, o exec.Outcome) {
+	if o.Prefetch == 0 {
+		return
+	}
+	n := o.PrefetchBytes
+	if n <= 0 {
+		n = 1
+	}
+	c.PrefetchSpan(o.Prefetch, n)
+}
+
+// RunStats summarises one AMAC execution for tests and reports.
+type RunStats struct {
+	// Width is the circular-buffer size actually used.
+	Width int
+	// Initiated counts lookups started (equals the machine's NumLookups
+	// when the run completes).
+	Initiated int
+	// Completed counts lookups finished.
+	Completed int
+	// StageVisits counts executions of stages >= 1.
+	StageVisits uint64
+	// Retries counts visits that found a latch held and moved on.
+	Retries uint64
+}

@@ -1,0 +1,42 @@
+package exec
+
+import (
+	"fmt"
+
+	"amac/internal/memsim"
+)
+
+// Baseline executes the machine's lookups one at a time with no software
+// prefetching: each dependent memory access stalls the core for its full
+// latency, which is the no-prefetch reference every figure in the paper
+// normalizes against.
+//
+// A stage that returns Retry is spun on (with a per-spin instruction charge),
+// matching the baseline implementations' latch spinning; since the baseline
+// has only one lookup in flight, retries can only happen if the latch was
+// left held by a previous phase, which the machines never do, so the spin
+// loop is bounded defensively.
+func Baseline[S any](c *memsim.Core, m Machine[S]) {
+	n := m.NumLookups()
+	var s S
+	for i := 0; i < n; i++ {
+		c.Instr(CostLoopIter)
+		out := m.Init(c, &s, i)
+		spins := 0
+		for !out.Done {
+			c.Instr(CostLoopIter)
+			next := m.Stage(c, &s, out.NextStage)
+			if next.Retry {
+				spins++
+				c.Instr(CostRetrySpin)
+				if spins > retryLimit {
+					panic(fmt.Sprintf("exec: baseline lookup %d spun on a latch %d times; machine is stuck", i, spins))
+				}
+				out.NextStage = next.NextStage
+				continue
+			}
+			spins = 0
+			out = next
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package exec
+
+import "amac/internal/memsim"
+
+// GroupPrefetch runs the machine under Group Prefetching (Chen et al.), the
+// first of the paper's two prior-art techniques (Section 2.2.1): lookups are
+// statically arranged into groups of `group` and every code stage is executed
+// for the whole group before the next stage begins, so up to `group`
+// independent prefetches are in flight at a time.
+//
+// The rigidity the paper criticises is reproduced faithfully:
+//
+//   - a lookup that terminates early still costs a status check in every
+//     remaining stage of its group (lost MLP and wasted instructions),
+//   - a lookup that needs more stages than provisioned is completed by a
+//     sequential clean-up pass at the group boundary,
+//   - a lookup that cannot acquire a latch keeps retrying in its remaining
+//     stages and, if still blocked, is also handled by the clean-up pass,
+//   - a new group can only start once the previous group has fully finished.
+func GroupPrefetch[S any](c *memsim.Core, m Machine[S], group int) {
+	if group < 1 {
+		group = 1
+	}
+	n := m.NumLookups()
+	depth := m.ProvisionedStages()
+	if depth < 1 {
+		depth = 1
+	}
+
+	states := make([]S, group)
+	current := make([]Outcome, group)
+	done := make([]bool, group)
+
+	for base := 0; base < n; base += group {
+		g := group
+		if base+g > n {
+			g = n - base
+		}
+
+		// Code stage 0 for the whole group: read the input tuples, compute
+		// the first target addresses, issue the first prefetches.
+		for j := 0; j < g; j++ {
+			c.Instr(CostGPStage)
+			out := m.Init(c, &states[j], base+j)
+			issuePrefetch(c, out)
+			current[j] = out
+			done[j] = out.Done
+		}
+
+		// Code stages 1..depth-1, each executed for the whole group.
+		for round := 1; round < depth; round++ {
+			for j := 0; j < g; j++ {
+				if done[j] {
+					// The lookup already terminated: the stage is skipped
+					// but the group loop still checks and propagates its
+					// status.
+					c.Instr(CostGPSkip)
+					continue
+				}
+				c.Instr(CostGPStage)
+				out := m.Stage(c, &states[j], current[j].NextStage)
+				if out.Retry {
+					// Latch held by another in-flight lookup: burn the
+					// stage and retry in the next round (or the clean-up
+					// pass).
+					current[j].NextStage = out.NextStage
+					current[j].Prefetch = 0
+					continue
+				}
+				issuePrefetch(c, out)
+				current[j] = out
+				done[j] = out.Done
+			}
+		}
+
+		// Clean-up pass: lookups whose chains are longer than provisioned
+		// (or that are still blocked on a latch) are completed without the
+		// benefit of prefetching before the next group may start.
+		finishSequential(c, m, states[:g], current[:g], done[:g])
+	}
+}
+
+// finishSequential completes every unfinished lookup without prefetching.
+// Lookups are serviced round-robin so that a lookup blocked on a latch held
+// by another unfinished lookup of the same batch cannot deadlock the pass.
+func finishSequential[S any](c *memsim.Core, m Machine[S], states []S, current []Outcome, done []bool) {
+	remaining := 0
+	for j := range done {
+		if !done[j] {
+			remaining++
+			c.Instr(CostBailout)
+		}
+	}
+	stuck := 0
+	for remaining > 0 {
+		progressed := false
+		for j := range done {
+			if done[j] {
+				continue
+			}
+			c.Instr(CostLoopIter)
+			out := m.Stage(c, &states[j], current[j].NextStage)
+			if out.Retry {
+				c.Instr(CostRetrySpin)
+				current[j].NextStage = out.NextStage
+				continue
+			}
+			progressed = true
+			current[j] = out
+			if out.Done {
+				done[j] = true
+				remaining--
+			}
+		}
+		if progressed {
+			stuck = 0
+			continue
+		}
+		stuck++
+		if stuck > retryLimit {
+			panic("exec: clean-up pass made no progress; a latch is held by a lookup outside the batch")
+		}
+	}
+}

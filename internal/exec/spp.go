@@ -1,0 +1,133 @@
+package exec
+
+import "amac/internal/memsim"
+
+// SoftwarePipeline runs the machine under Software-Pipelined Prefetching
+// (Chen et al.; also applied to trees by Kim et al.), the second prior-art
+// technique of Section 2.2.1: `inflight` lookups occupy pipeline slots at
+// staggered stages, every outer iteration advances each slot by one code
+// stage, and a slot accepts a new lookup only at its static refill point —
+// after the provisioned number of stages has elapsed — regardless of whether
+// its lookup actually finished earlier.
+//
+// The consequences the paper highlights are reproduced:
+//
+//   - early-terminating lookups waste their remaining pipeline slots
+//     (status-check no-ops, lost MLP),
+//   - lookups longer than the provisioned depth are bailed out of the
+//     pipeline and completed on a sequential side path without prefetching,
+//   - a lookup that cannot acquire a latch burns pipeline stages retrying
+//     and is eventually serialized on the same side path.
+func SoftwarePipeline[S any](c *memsim.Core, m Machine[S], inflight int) {
+	if inflight < 1 {
+		inflight = 1
+	}
+	n := m.NumLookups()
+	depth := m.ProvisionedStages()
+	if depth < 1 {
+		depth = 1
+	}
+
+	type slotState struct {
+		busy    bool // a lookup occupies the slot (it may already be done)
+		done    bool // the occupying lookup finished early
+		age     int  // code stages elapsed since the lookup entered
+		current Outcome
+	}
+
+	states := make([]S, inflight)
+	slots := make([]slotState, inflight)
+
+	// Bailed-out lookups: completed alongside the pipeline, one stage per
+	// outer iteration, without prefetching. Processing them round-robin
+	// (rather than spinning) keeps latch dependencies deadlock-free.
+	var bailStates []S
+	var bailCurrent []Outcome
+
+	next := 0    // next input lookup to start
+	active := 0  // slots holding unfinished lookups
+	pending := 0 // bailed-out lookups not yet finished
+
+	for next < n || active > 0 || pending > 0 {
+		for j := 0; j < inflight; j++ {
+			slot := &slots[j]
+			switch {
+			case !slot.busy:
+				if next >= n {
+					continue
+				}
+				c.Instr(CostSPPStage)
+				out := m.Init(c, &states[j], next)
+				next++
+				issuePrefetch(c, out)
+				slot.busy = true
+				slot.done = out.Done
+				slot.age = 1
+				slot.current = out
+				if !out.Done {
+					active++
+				}
+			case slot.done:
+				// The lookup terminated before its static slot expired:
+				// the pipeline still spends an iteration checking it.
+				c.Instr(CostSPPSkip)
+				slot.age++
+				if slot.age >= depth {
+					slot.busy = false
+				}
+			default:
+				c.Instr(CostSPPStage)
+				out := m.Stage(c, &states[j], slot.current.NextStage)
+				slot.age++
+				if out.Retry {
+					slot.current.NextStage = out.NextStage
+					slot.current.Prefetch = 0
+				} else {
+					issuePrefetch(c, out)
+					slot.current = out
+					if out.Done {
+						slot.done = true
+						active--
+					}
+				}
+				if slot.age >= depth {
+					if !slot.done {
+						// Longer than provisioned: bail out of the pipeline.
+						c.Instr(CostBailout)
+						bailStates = append(bailStates, states[j])
+						bailCurrent = append(bailCurrent, slot.current)
+						pending++
+						active--
+					}
+					slot.busy = false
+				}
+			}
+		}
+
+		// Advance every bailed-out lookup by one (unprefetched) stage and
+		// drop the ones that finish, so the side list stays proportional to
+		// the number of genuinely outstanding bail-outs.
+		keep := 0
+		for b := 0; b < len(bailStates); b++ {
+			c.Instr(CostLoopIter)
+			out := m.Stage(c, &bailStates[b], bailCurrent[b].NextStage)
+			switch {
+			case out.Retry:
+				c.Instr(CostRetrySpin)
+				bailCurrent[b].NextStage = out.NextStage
+			case out.Done:
+				pending--
+				continue
+			default:
+				bailCurrent[b] = out
+			}
+			bailStates[keep] = bailStates[b]
+			bailCurrent[keep] = bailCurrent[b]
+			keep++
+		}
+		bailStates = bailStates[:keep]
+		bailCurrent = bailCurrent[:keep]
+
+		c.Instr(CostLoopIter)
+	}
+}

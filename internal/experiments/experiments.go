@@ -1,0 +1,166 @@
+// Package experiments regenerates every table and figure of the AMAC
+// paper's evaluation (plus the motivation experiments of Section 2 and a set
+// of ablations suggested by Section 6) on top of the simulated memory
+// hierarchy. Each experiment is registered under the identifier used in
+// DESIGN.md and EXPERIMENTS.md and returns one or more profile.Tables whose
+// rows and columns mirror the paper's artifact.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"amac/internal/profile"
+)
+
+// Scale selects the dataset sizes. The paper uses 2^27-tuple relations
+// (2 GB); the default reproduction scale keeps the decisive property — the
+// "large" working sets overflow the simulated LLC while the "small" build
+// table fits in it — at a fraction of the simulation time.
+type Scale string
+
+const (
+	// Tiny is for smoke tests and CI: everything fits in the caches, so
+	// only functional behaviour (not the performance shapes) is meaningful.
+	Tiny Scale = "tiny"
+	// Small is the default reporting scale (about 1M-tuple relations).
+	Small Scale = "small"
+	// Paper uses the paper's original tuple counts; runs take a long time
+	// and tens of gigabytes of memory.
+	Paper Scale = "paper"
+)
+
+// ParseScale validates a scale name.
+func ParseScale(s string) (Scale, error) {
+	switch Scale(s) {
+	case Tiny, Small, Paper:
+		return Scale(s), nil
+	default:
+		return Small, fmt.Errorf("experiments: unknown scale %q (want tiny, small or paper)", s)
+	}
+}
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Scale selects dataset sizes; the zero value means Small.
+	Scale Scale
+	// Seed makes workload generation deterministic.
+	Seed uint64
+	// Window overrides the number of in-flight lookups for all prefetching
+	// techniques (zero keeps each experiment's default of 10).
+	Window int
+}
+
+func (c Config) scale() Scale {
+	if c.Scale == "" {
+		return Small
+	}
+	return c.Scale
+}
+
+func (c Config) seed() uint64 {
+	if c.Seed == 0 {
+		return 42
+	}
+	return c.Seed
+}
+
+func (c Config) window() int {
+	if c.Window <= 0 {
+		return 10
+	}
+	return c.Window
+}
+
+// sizes holds every scale-dependent knob.
+type sizes struct {
+	joinLarge   int // |R| = |S| for the "large" (2 GB ⋈ 2 GB) join
+	joinSmall   int // |R| for the "small" (2 MB ⋈ 2 GB) join
+	gbLarge     int
+	gbSmall     int
+	gbRepeats   int
+	bstSizes    []int // log2 tree sizes for Figure 10
+	slSizes     []int // log2 skip list sizes for Figure 11
+	bstT4       int   // log2 tree size for Figure 13
+	slT4        int   // log2 skip list size for Figure 13
+	xeonThreads []int
+	t4Threads   []int
+	windows     []int // in-flight sweep for Figure 6
+}
+
+func (c Config) sizes() sizes {
+	switch c.scale() {
+	case Tiny:
+		return sizes{
+			joinLarge: 1 << 13, joinSmall: 1 << 10,
+			gbLarge: 1 << 12, gbSmall: 1 << 10, gbRepeats: 3,
+			bstSizes: []int{10, 12}, slSizes: []int{9, 11},
+			bstT4: 12, slT4: 11,
+			xeonThreads: []int{1, 2, 4, 6, 8, 12},
+			t4Threads:   []int{1, 8, 16, 64},
+			windows:     []int{1, 5, 10, 15},
+		}
+	case Paper:
+		return sizes{
+			joinLarge: 1 << 27, joinSmall: 1 << 17,
+			gbLarge: 1 << 27, gbSmall: 1 << 17, gbRepeats: 3,
+			bstSizes: []int{15, 18, 21, 24, 26, 27}, slSizes: []int{15, 21, 25},
+			bstT4: 25, slT4: 25,
+			xeonThreads: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+			t4Threads:   []int{1, 2, 4, 8, 16, 24, 32, 40, 48, 56, 64},
+			windows:     []int{1, 5, 10, 15},
+		}
+	default: // Small
+		return sizes{
+			joinLarge: 1 << 20, joinSmall: 1 << 17,
+			gbLarge: 1 << 20, gbSmall: 1 << 17, gbRepeats: 3,
+			bstSizes: []int{14, 16, 18, 20}, slSizes: []int{14, 16, 18},
+			bstT4: 18, slT4: 17,
+			xeonThreads: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+			t4Threads:   []int{1, 2, 4, 8, 16, 24, 32, 48, 64},
+			windows:     []int{1, 5, 10, 15},
+		}
+	}
+}
+
+// Descriptor registers one reproducible artifact.
+type Descriptor struct {
+	// ID is the identifier used across DESIGN.md, EXPERIMENTS.md, the CLI
+	// and the benchmarks ("fig5a", "table3", ...).
+	ID string
+	// Title summarises what the paper artifact shows.
+	Title string
+	// Run regenerates the artifact.
+	Run func(Config) []*profile.Table
+}
+
+// registry is populated by the experiment files' init order via Register.
+var registry []Descriptor
+
+func register(d Descriptor) { registry = append(registry, d) }
+
+// Registry returns every registered experiment sorted by ID.
+func Registry() []Descriptor {
+	out := append([]Descriptor(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Find locates an experiment by ID.
+func Find(id string) (Descriptor, bool) {
+	for _, d := range registry {
+		if d.ID == id {
+			return d, true
+		}
+	}
+	return Descriptor{}, false
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, cfg Config) ([]*profile.Table, error) {
+	d, ok := Find(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return d.Run(cfg), nil
+}

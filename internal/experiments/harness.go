@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+
+	"amac/internal/memsim"
+	"amac/internal/ops"
+	"amac/internal/relation"
+)
+
+// phaseResult captures one measured operator phase on one representative
+// hardware thread.
+type phaseResult struct {
+	cycles uint64
+	stats  memsim.Stats
+	tuples int
+	// outputCount is the number of materialized results (probe phases).
+	outputCount uint64
+}
+
+// cyclesPerTuple is the paper's main metric.
+func (r phaseResult) cyclesPerTuple() float64 {
+	if r.tuples == 0 {
+		return 0
+	}
+	return float64(r.cycles) / float64(r.tuples)
+}
+
+// instrPerTuple reproduces the first row of the paper's Table 3.
+func (r phaseResult) instrPerTuple() float64 {
+	if r.tuples == 0 {
+		return 0
+	}
+	return float64(r.stats.Instructions) / float64(r.tuples)
+}
+
+// throughputMTuplesPerSec converts one thread's partition time into the
+// aggregate probe throughput of `threads` identical threads, the metric of
+// Figures 7 and 8.
+func (r phaseResult) throughputMTuplesPerSec(freqHz float64, threads int) float64 {
+	if r.cycles == 0 {
+		return 0
+	}
+	seconds := float64(r.cycles) / freqHz
+	return float64(r.tuples) * float64(threads) / seconds / 1e6
+}
+
+// joinConfig describes one hash-join measurement.
+type joinConfig struct {
+	machine memsim.Config
+	spec    relation.JoinSpec
+	// buckets overrides the table's bucket count (0 = |R|/2, the
+	// Balkesen-style sizing; Figure 3 uses |R|/8 for four-node chains).
+	buckets int
+	// earlyExit terminates probes on the first match (unique build keys).
+	earlyExit bool
+	// provision overrides the stage count GP and SPP provision for the
+	// probe (0 keeps the operator default of 2: one node per bucket). The
+	// paper tunes this per experiment.
+	provision int
+	tech      ops.Technique
+	window    int
+	// chargeBuild measures the build phase with the same technique before
+	// the probe phase (Figure 5); otherwise the table is pre-built outside
+	// the measurement and only its cache footprint is warmed.
+	chargeBuild bool
+	// threads is the number of software threads assumed active; the probe
+	// relation is partitioned across them and one representative thread is
+	// simulated. threadsPerSocket (0 = all on one socket) controls how many
+	// of them share an LLC and off-chip queue.
+	threads          int
+	threadsPerSocket int
+}
+
+// joinResult is the outcome of runJoin.
+type joinResult struct {
+	build phaseResult
+	probe phaseResult
+}
+
+// runJoin generates the relations, materializes the workload, and measures
+// the requested phases.
+func runJoin(cfg joinConfig) joinResult {
+	if cfg.threads <= 0 {
+		cfg.threads = 1
+	}
+	if cfg.threadsPerSocket <= 0 {
+		cfg.threadsPerSocket = cfg.threads
+	}
+	if cfg.window <= 0 {
+		cfg.window = ops.DefaultWindow
+	}
+
+	build, probe, err := relation.BuildJoin(cfg.spec)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	var j *ops.HashJoin
+	if cfg.buckets > 0 {
+		j = ops.NewHashJoinWithBuckets(build, probe, cfg.buckets)
+	} else {
+		j = ops.NewHashJoin(build, probe)
+	}
+
+	sys := memsim.MustSystem(cfg.machine)
+	core := sys.NewCore()
+	sys.SetActiveThreads(cfg.threadsPerSocket, core)
+
+	var res joinResult
+
+	if cfg.chargeBuild {
+		m := j.BuildMachine()
+		ops.RunMachine(core, m, cfg.tech, ops.Params{Window: cfg.window})
+		res.build = phaseResult{cycles: core.Cycle(), stats: core.Stats(), tuples: j.Build.Len()}
+	} else {
+		j.PrebuildRaw()
+		warmTable(core, j)
+	}
+	core.ResetStats()
+
+	out := ops.NewOutput(j.Arena, false)
+	pm := j.ProbeMachine(out, cfg.earlyExit)
+	pm.Provision = cfg.provision
+	pm.Limit = j.Probe.Len() / cfg.threads
+	ops.RunMachine(core, pm, cfg.tech, ops.Params{Window: cfg.window})
+	res.probe = phaseResult{
+		cycles:      core.Cycle(),
+		stats:       core.Stats(),
+		tuples:      pm.NumLookups(),
+		outputCount: out.Count,
+	}
+	return res
+}
+
+// warmTable installs the hash table's most recently written lines into the
+// hierarchy, approximating the cache state the probe phase would inherit
+// from a real build phase that ran on the same core. Only as much of the
+// table as fits in the LLC is touched (most recent lines last, so they are
+// the most recently used).
+func warmTable(core *memsim.Core, j *ops.HashJoin) {
+	llc := uint64(core.Config().L3.SizeBytes)
+	total := j.Table.NumBuckets() * 64
+	start := uint64(0)
+	if total > llc {
+		start = total - llc
+	}
+	base := uint64(j.Table.BaseAddr())
+	for off := start; off < total; off += 64 {
+		core.Touch(memsim.Addr(base+off), 64)
+	}
+}
+
+// groupByConfig describes one group-by measurement.
+type groupByConfig struct {
+	machine memsim.Config
+	spec    relation.GroupBySpec
+	tech    ops.Technique
+	window  int
+}
+
+// runGroupBy measures a group-by phase.
+func runGroupBy(cfg groupByConfig) phaseResult {
+	if cfg.window <= 0 {
+		cfg.window = ops.DefaultWindow
+	}
+	rel, err := relation.BuildGroupBy(cfg.spec)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	groups := cfg.spec.Size / cfg.spec.Repeats
+	g := ops.NewGroupBy(rel, groups)
+	sys := memsim.MustSystem(cfg.machine)
+	core := sys.NewCore()
+	ops.RunMachine(core, g.Machine(), cfg.tech, ops.Params{Window: cfg.window})
+	return phaseResult{cycles: core.Cycle(), stats: core.Stats(), tuples: rel.Len()}
+}
+
+// runBSTSearch measures a tree-search phase over a 2^sizeExp-node tree.
+func runBSTSearch(machine memsim.Config, sizeExp int, tech ops.Technique, window int, seed uint64) phaseResult {
+	build, probe, err := relation.BuildIndexWorkload(1<<sizeExp, seed)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	w := ops.NewBSTWorkload(build, probe)
+	sys := memsim.MustSystem(machine)
+	core := sys.NewCore()
+	out := ops.NewOutput(w.Arena, false)
+	ops.RunMachine(core, w.SearchMachine(out), tech, ops.Params{Window: window})
+	return phaseResult{cycles: core.Cycle(), stats: core.Stats(), tuples: probe.Len(), outputCount: out.Count}
+}
+
+// runSkipListSearch measures a search phase over a pre-built skip list.
+func runSkipListSearch(machine memsim.Config, sizeExp int, tech ops.Technique, window int, seed uint64) phaseResult {
+	build, probe, err := relation.BuildIndexWorkload(1<<sizeExp, seed)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	w := ops.NewSkipListWorkload(build, probe)
+	w.PrebuildRaw(seed)
+	sys := memsim.MustSystem(machine)
+	core := sys.NewCore()
+	out := ops.NewOutput(w.Arena, false)
+	ops.RunMachine(core, w.SearchMachine(out), tech, ops.Params{Window: window})
+	return phaseResult{cycles: core.Cycle(), stats: core.Stats(), tuples: probe.Len(), outputCount: out.Count}
+}
+
+// runSkipListInsert measures building a skip list from scratch.
+func runSkipListInsert(machine memsim.Config, sizeExp int, tech ops.Technique, window int, seed uint64) phaseResult {
+	build, probe, err := relation.BuildIndexWorkload(1<<sizeExp, seed)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	w := ops.NewSkipListWorkload(build, probe)
+	sys := memsim.MustSystem(machine)
+	core := sys.NewCore()
+	m := w.InsertMachine(seed)
+	ops.RunMachine(core, m, tech, ops.Params{Window: window})
+	return phaseResult{cycles: core.Cycle(), stats: core.Stats(), tuples: build.Len(), outputCount: uint64(m.Inserted)}
+}
+
+// techColumns is the column order used by most figures.
+var techColumns = []string{"Baseline", "GP", "SPP", "AMAC"}
+
+// skewLabel renders the paper's [Z_R, Z_S] notation.
+func skewLabel(zr, zs float64) string {
+	return fmt.Sprintf("[%.2g, %.2g]", zr, zs)
+}

@@ -1,0 +1,309 @@
+package experiments
+
+// Shape tests: assert the qualitative results the paper argues from, on
+// working sets scaled so the tests stay fast. Because absolute cycle counts
+// depend on the calibration of the cost model, every assertion here is about
+// orderings and ratios (who wins, what degrades, where scaling saturates),
+// not about absolute values. A reduced memory hierarchy ("scaled Xeon",
+// "scaled T4") keeps the decisive property — the large working sets overflow
+// the LLC — while letting each measurement finish in milliseconds.
+
+import (
+	"testing"
+
+	"amac/internal/memsim"
+	"amac/internal/ops"
+	"amac/internal/relation"
+)
+
+// scaledXeon is a Xeon-like socket with a 256 KB LLC so that a 2^16-tuple
+// join (2 MB hash table) is overwhelmingly memory-resident, preserving the
+// paper's 2 GB-versus-12 MB proportions at test speed.
+func scaledXeon() memsim.Config {
+	cfg := memsim.XeonX5670()
+	cfg.L2 = memsim.CacheConfig{SizeBytes: 64 << 10, Ways: 8, LatencyCycles: 10}
+	cfg.L3 = memsim.CacheConfig{SizeBytes: 256 << 10, Ways: 16, LatencyCycles: 38}
+	return cfg
+}
+
+// scaledT4 shrinks the T4 the same way.
+func scaledT4() memsim.Config {
+	cfg := memsim.SPARCT4()
+	cfg.L2 = memsim.CacheConfig{SizeBytes: 64 << 10, Ways: 8, LatencyCycles: 12}
+	cfg.L3 = memsim.CacheConfig{SizeBytes: 128 << 10, Ways: 16, LatencyCycles: 40}
+	return cfg
+}
+
+const shapeJoinSize = 1 << 16
+
+func shapeJoin(t *testing.T, machine memsim.Config, zr, zs float64, tech ops.Technique, threads int) joinResult {
+	t.Helper()
+	return runJoin(joinConfig{
+		machine:   machine,
+		spec:      relation.JoinSpec{BuildSize: shapeJoinSize, ProbeSize: shapeJoinSize, ZipfBuild: zr, ZipfProbe: zs, Seed: 99},
+		earlyExit: zr == 0,
+		tech:      tech,
+		window:    10,
+		threads:   threads,
+	})
+}
+
+// TestShapeUniformJoinSpeedups: on the memory-resident uniform join all three
+// prefetching techniques deliver large speedups over the baseline, and AMAC
+// is the fastest (Figure 5b, [0,0]).
+func TestShapeUniformJoinSpeedups(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests take a few seconds")
+	}
+	cycles := map[ops.Technique]float64{}
+	for _, tech := range ops.Techniques {
+		cycles[tech] = shapeJoin(t, scaledXeon(), 0, 0, tech, 1).probe.cyclesPerTuple()
+	}
+	for _, tech := range ops.PrefetchingTechniques {
+		if speedup := cycles[ops.Baseline] / cycles[tech]; speedup < 2 {
+			t.Errorf("%v speedup over baseline = %.2fx, expected well above 2x on the uniform memory-resident join", tech, speedup)
+		}
+	}
+	if cycles[ops.AMAC] >= cycles[ops.GP] || cycles[ops.AMAC] >= cycles[ops.SPP] {
+		t.Errorf("AMAC (%.1f) should be the fastest technique (GP %.1f, SPP %.1f)", cycles[ops.AMAC], cycles[ops.GP], cycles[ops.SPP])
+	}
+}
+
+// TestShapeSkewRobustness: going from uniform to heavily skewed build keys
+// (the paper's [1, 0]) hurts GP and SPP far more than AMAC, and AMAC ends up
+// clearly faster than both (Figure 5b, Section 5.1).
+func TestShapeSkewRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests take a few seconds")
+	}
+	perTuple := func(tech ops.Technique, zr float64) float64 {
+		return shapeJoin(t, scaledXeon(), zr, 0, tech, 1).probe.cyclesPerTuple()
+	}
+	gpU, gpS := perTuple(ops.GP, 0), perTuple(ops.GP, 1)
+	sppU, sppS := perTuple(ops.SPP, 0), perTuple(ops.SPP, 1)
+	amacU, amacS := perTuple(ops.AMAC, 0), perTuple(ops.AMAC, 1)
+
+	gpSlow, sppSlow, amacSlow := gpS/gpU, sppS/sppU, amacS/amacU
+	if amacSlow >= gpSlow || amacSlow >= sppSlow {
+		t.Errorf("AMAC slowdown under skew (%.2fx) should be below GP (%.2fx) and SPP (%.2fx)", amacSlow, gpSlow, sppSlow)
+	}
+	if amacS >= gpS || amacS >= sppS {
+		t.Errorf("under skew AMAC (%.1f cyc/tuple) should beat GP (%.1f) and SPP (%.1f)", amacS, gpS, sppS)
+	}
+}
+
+// TestShapeSmallBuildRelation: when the build table fits in the LLC, the
+// benefit of prefetching shrinks dramatically (Figure 5a versus 5b): the
+// best technique's advantage over the baseline must be far smaller than on
+// the memory-resident join.
+func TestShapeSmallBuildRelation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests take a few seconds")
+	}
+	small := func(tech ops.Technique) float64 {
+		return runJoin(joinConfig{
+			machine:   scaledXeon(),
+			spec:      relation.JoinSpec{BuildSize: 1 << 12, ProbeSize: shapeJoinSize, Seed: 5},
+			earlyExit: true,
+			tech:      tech,
+			window:    10,
+		}).probe.cyclesPerTuple()
+	}
+	large := func(tech ops.Technique) float64 {
+		return shapeJoin(t, scaledXeon(), 0, 0, tech, 1).probe.cyclesPerTuple()
+	}
+	smallGain := small(ops.Baseline) / small(ops.AMAC)
+	largeGain := large(ops.Baseline) / large(ops.AMAC)
+	if smallGain >= largeGain {
+		t.Errorf("AMAC's advantage on the cache-resident join (%.2fx) should be smaller than on the memory-resident join (%.2fx)", smallGain, largeGain)
+	}
+}
+
+// TestShapeInFlightSensitivity: AMAC performance improves with the number of
+// in-flight lookups until the MSHR limit and is insensitive beyond it
+// (Figure 6c / Section 6).
+func TestShapeInFlightSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests take a few seconds")
+	}
+	at := func(window int) float64 {
+		return runJoin(joinConfig{
+			machine:   scaledXeon(),
+			spec:      relation.JoinSpec{BuildSize: shapeJoinSize, ProbeSize: shapeJoinSize, Seed: 99},
+			earlyExit: true,
+			tech:      ops.AMAC,
+			window:    window,
+		}).probe.cyclesPerTuple()
+	}
+	one, ten, thirty := at(1), at(10), at(30)
+	if ten >= one/2 {
+		t.Errorf("10 in-flight lookups (%.1f) should be at least 2x better than 1 (%.1f)", ten, one)
+	}
+	if thirty < ten*0.8 || thirty > ten*1.5 {
+		t.Errorf("beyond the MSHR limit performance should be flat: width 30 = %.1f, width 10 = %.1f", thirty, ten)
+	}
+}
+
+// TestShapeXeonScalabilitySaturates: with six threads sharing the Xeon's
+// 32-entry off-chip queue, AMAC probe throughput stops scaling, while the
+// same six threads on the T4-like socket (bigger queue) keep scaling
+// (Figures 7 and 8, Section 5.1.1).
+func TestShapeXeonScalabilitySaturates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests take a few seconds")
+	}
+	throughput := func(machine memsim.Config, threads int) float64 {
+		res := shapeJoin(t, machine, 0, 0, ops.AMAC, threads)
+		return res.probe.throughputMTuplesPerSec(machine.FreqHz, threads)
+	}
+	xeon1, xeon6 := throughput(scaledXeon(), 1), throughput(scaledXeon(), 6)
+	t4x1, t4x6 := throughput(scaledT4(), 1), throughput(scaledT4(), 6)
+
+	xeonScaling := xeon6 / xeon1
+	t4Scaling := t4x6 / t4x1
+	if xeonScaling > 4.5 {
+		t.Errorf("Xeon AMAC throughput scaled %.2fx with 6 threads; the 32-entry off-chip queue should prevent near-linear scaling", xeonScaling)
+	}
+	if t4Scaling < xeonScaling {
+		t.Errorf("T4-like socket (%.2fx) should scale at least as well as the Xeon (%.2fx)", t4Scaling, xeonScaling)
+	}
+	if t4Scaling < 4 {
+		t.Errorf("T4-like socket should scale close to linearly over 6 physical cores, got %.2fx", t4Scaling)
+	}
+}
+
+// TestShapeBaselineScalesBetterThanAMACOnXeon: the baseline's low per-thread
+// MLP means it does not contend for the off-chip queue, so its throughput
+// keeps improving with threads and narrows AMAC's lead (Figure 7a).
+func TestShapeBaselineScalesBetterThanAMACOnXeon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests take a few seconds")
+	}
+	ratioAt := func(threads int) float64 {
+		machine := scaledXeon()
+		amacT := shapeJoin(t, machine, 0, 0, ops.AMAC, threads).probe.throughputMTuplesPerSec(machine.FreqHz, threads)
+		baseT := shapeJoin(t, machine, 0, 0, ops.Baseline, threads).probe.throughputMTuplesPerSec(machine.FreqHz, threads)
+		return amacT / baseT
+	}
+	lead1, lead12 := ratioAt(1), ratioAt(12)
+	if lead12 >= lead1 {
+		t.Errorf("AMAC's lead over the baseline should shrink as threads contend for the off-chip queue: 1 thread %.2fx, 12 threads %.2fx", lead1, lead12)
+	}
+}
+
+// TestShapeMSHRHitsRiseWithThreads reproduces the trend of Table 4: more
+// threads sharing the off-chip queue means prefetches arrive later, so the
+// probe sees more L1-D MSHR hits per kilo-instruction and lower IPC, and
+// spreading four threads over two sockets undoes the damage.
+func TestShapeMSHRHitsRiseWithThreads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests take a few seconds")
+	}
+	machine := scaledXeon()
+	stats := func(threads, perSocket int) memsim.Stats {
+		return runJoin(joinConfig{
+			machine:          machine,
+			spec:             relation.JoinSpec{BuildSize: shapeJoinSize, ProbeSize: shapeJoinSize, Seed: 99},
+			earlyExit:        true,
+			tech:             ops.AMAC,
+			window:           10,
+			threads:          threads,
+			threadsPerSocket: perSocket,
+		}).probe.stats
+	}
+	waitPerKiloInstr := func(s memsim.Stats) float64 {
+		return 1000 * float64(s.MSHRHitWaitCycles) / float64(s.Instructions)
+	}
+	one := stats(1, 1)
+	six := stats(6, 6)
+	four := stats(4, 4)
+	split := stats(4, 2)
+	if waitPerKiloInstr(six) <= waitPerKiloInstr(one) {
+		t.Errorf("time spent waiting on outstanding misses should rise with thread count: 1 thread %.1f, 6 threads %.1f cycles/k-instr",
+			waitPerKiloInstr(one), waitPerKiloInstr(six))
+	}
+	if six.IPC() >= one.IPC() {
+		t.Errorf("IPC should drop with thread count: 1 thread %.2f, 6 threads %.2f", one.IPC(), six.IPC())
+	}
+	if split.IPC() <= four.IPC() {
+		t.Errorf("spreading 4 threads over two sockets (IPC %.2f) should relieve the contention of one socket (IPC %.2f)",
+			split.IPC(), four.IPC())
+	}
+	if waitPerKiloInstr(split) >= waitPerKiloInstr(four) {
+		t.Errorf("spreading 4 threads over two sockets (%.1f) should reduce outstanding-miss waits versus one socket (%.1f)",
+			waitPerKiloInstr(split), waitPerKiloInstr(four))
+	}
+}
+
+// TestShapeGroupBySkew: under heavy key skew the read/write dependencies
+// serialize SPP's pipeline, while AMAC stays ahead of both prior techniques
+// (Figure 9).
+func TestShapeGroupBySkew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests take a few seconds")
+	}
+	cyc := func(tech ops.Technique, zipf float64) float64 {
+		return runGroupBy(groupByConfig{
+			machine: scaledXeon(),
+			spec:    relation.GroupBySpec{Size: 1 << 16, Repeats: 3, Zipf: zipf, Seed: 3},
+			tech:    tech,
+			window:  10,
+		}).cyclesPerTuple()
+	}
+	if amac, spp := cyc(ops.AMAC, 1.0), cyc(ops.SPP, 1.0); amac >= spp {
+		t.Errorf("under Zipf(1.0) AMAC (%.1f) should beat SPP (%.1f)", amac, spp)
+	}
+	if amac, gp := cyc(ops.AMAC, 1.0), cyc(ops.GP, 1.0); amac >= gp {
+		t.Errorf("under Zipf(1.0) AMAC (%.1f) should beat GP (%.1f)", amac, gp)
+	}
+	// AMAC must also beat the baseline on the uniform case.
+	if amac, base := cyc(ops.AMAC, 0), cyc(ops.Baseline, 0); base/amac < 1.5 {
+		t.Errorf("AMAC group-by speedup over baseline = %.2fx, expected at least 1.5x", base/amac)
+	}
+}
+
+// TestShapeBSTBenefitGrowsWithTreeSize: the deeper the tree, the longer the
+// dependent chains and the larger AMAC's advantage over the baseline
+// (Figure 10).
+func TestShapeBSTBenefitGrowsWithTreeSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests take a few seconds")
+	}
+	speedup := func(sizeExp int) float64 {
+		base := runBSTSearch(scaledXeon(), sizeExp, ops.Baseline, 10, 7).cyclesPerTuple()
+		am := runBSTSearch(scaledXeon(), sizeExp, ops.AMAC, 10, 7).cyclesPerTuple()
+		return base / am
+	}
+	smallTree, bigTree := speedup(10), speedup(16)
+	if bigTree <= smallTree {
+		t.Errorf("AMAC speedup should grow with tree depth: 2^10 -> %.2fx, 2^16 -> %.2fx", smallTree, bigTree)
+	}
+	if bigTree < 2 {
+		t.Errorf("AMAC speedup on a memory-resident tree should be large, got %.2fx", bigTree)
+	}
+}
+
+// TestShapeSkipListSearchAndInsert: search benefits more than insert (whose
+// splice phase is compute-bound), and AMAC leads both prior techniques on
+// search (Section 5.4).
+func TestShapeSkipListSearchAndInsert(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests take a few seconds")
+	}
+	const sizeExp = 14
+	searchSpeedup := func(tech ops.Technique) float64 {
+		base := runSkipListSearch(scaledXeon(), sizeExp, ops.Baseline, 10, 7).cyclesPerTuple()
+		return base / runSkipListSearch(scaledXeon(), sizeExp, tech, 10, 7).cyclesPerTuple()
+	}
+	insertSpeedup := func(tech ops.Technique) float64 {
+		base := runSkipListInsert(scaledXeon(), sizeExp, ops.Baseline, 10, 7).cyclesPerTuple()
+		return base / runSkipListInsert(scaledXeon(), sizeExp, tech, 10, 7).cyclesPerTuple()
+	}
+	amacSearch := searchSpeedup(ops.AMAC)
+	if amacSearch <= searchSpeedup(ops.GP) || amacSearch <= searchSpeedup(ops.SPP) {
+		t.Errorf("AMAC should deliver the best skip list search speedup (got %.2fx)", amacSearch)
+	}
+	if amacInsert := insertSpeedup(ops.AMAC); amacInsert >= amacSearch {
+		t.Errorf("insert speedup (%.2fx) should be more modest than search speedup (%.2fx): the splice phase is CPU-bound", amacInsert, amacSearch)
+	}
+}

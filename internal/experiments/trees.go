@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"amac/internal/memsim"
+	"amac/internal/ops"
+	"amac/internal/profile"
+)
+
+func init() {
+	register(Descriptor{ID: "fig10", Title: "Binary search tree search: cycles per probe tuple versus tree size (Xeon)", Run: fig10})
+	register(Descriptor{ID: "fig11", Title: "Skip list search and insert: cycles per output tuple versus size (Xeon)", Run: fig11})
+	register(Descriptor{ID: "fig13", Title: "BST search and skip list search on SPARC T4", Run: fig13})
+}
+
+// fig10 reproduces Figure 10: BST search cost as a function of tree size.
+func fig10(cfg Config) []*profile.Table {
+	sz := cfg.sizes()
+	rows := make([]string, len(sz.bstSizes))
+	for i, e := range sz.bstSizes {
+		rows[i] = fmt.Sprintf("2^%d", e)
+	}
+	t := profile.New("fig10", "BST search on Xeon x5670", "cycles/probe tuple", rows, techColumns)
+	t.AddNote("rows: tree size (nodes); probe relation size equals tree size; scale %q", cfg.scale())
+	for _, e := range sz.bstSizes {
+		for _, tech := range ops.Techniques {
+			res := runBSTSearch(memsim.XeonX5670(), e, tech, cfg.window(), cfg.seed())
+			t.Set(fmt.Sprintf("2^%d", e), tech.String(), res.cyclesPerTuple())
+		}
+	}
+	return []*profile.Table{t}
+}
+
+// fig11 reproduces Figure 11: skip list search and insert cost versus size.
+func fig11(cfg Config) []*profile.Table {
+	sz := cfg.sizes()
+	rows := make([]string, len(sz.slSizes))
+	for i, e := range sz.slSizes {
+		rows[i] = fmt.Sprintf("2^%d", e)
+	}
+	search := profile.New("fig11-search", "Skip list search on Xeon x5670", "cycles/probe tuple", rows, techColumns)
+	insert := profile.New("fig11-insert", "Skip list insert on Xeon x5670", "cycles/input tuple", rows, techColumns)
+	search.AddNote("rows: skip list size (elements); scale %q", cfg.scale())
+	insert.AddNote("rows: number of inserted elements (list built from scratch); scale %q", cfg.scale())
+	for _, e := range sz.slSizes {
+		for _, tech := range ops.Techniques {
+			s := runSkipListSearch(memsim.XeonX5670(), e, tech, cfg.window(), cfg.seed())
+			search.Set(fmt.Sprintf("2^%d", e), tech.String(), s.cyclesPerTuple())
+			in := runSkipListInsert(memsim.XeonX5670(), e, tech, cfg.window(), cfg.seed())
+			insert.Set(fmt.Sprintf("2^%d", e), tech.String(), in.cyclesPerTuple())
+		}
+	}
+	return []*profile.Table{search, insert}
+}
+
+// fig13 reproduces Figure 13: BST search and skip list search on the T4.
+func fig13(cfg Config) []*profile.Table {
+	sz := cfg.sizes()
+	rows := []string{
+		fmt.Sprintf("BST search (2^%d nodes)", sz.bstT4),
+		fmt.Sprintf("Skip list search (2^%d elements)", sz.slT4),
+	}
+	t := profile.New("fig13", "BST and skip list search on SPARC T4", "cycles/probe tuple", rows, techColumns)
+	t.AddNote("scale %q", cfg.scale())
+	for _, tech := range ops.Techniques {
+		bst := runBSTSearch(memsim.SPARCT4(), sz.bstT4, tech, cfg.window(), cfg.seed())
+		t.Set(rows[0], tech.String(), bst.cyclesPerTuple())
+		sl := runSkipListSearch(memsim.SPARCT4(), sz.slT4, tech, cfg.window(), cfg.seed())
+		t.Set(rows[1], tech.String(), sl.cyclesPerTuple())
+	}
+	return []*profile.Table{t}
+}

@@ -1,0 +1,149 @@
+package memsim
+
+// Cache is a set-associative cache with true-LRU replacement. It stores only
+// cache-line numbers (tags); data always lives in the arena. A Cache is not
+// safe for concurrent use; the simulator is single-threaded by design.
+type Cache struct {
+	name    string
+	latency uint64
+	ways    int
+	sets    uint64
+
+	// tags[set*ways+way] holds lineNumber+1 so that zero means invalid.
+	tags []uint64
+	// use[set*ways+way] is a monotonically increasing use stamp for LRU.
+	use   []uint64
+	clock uint64
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// NewCache builds a cache from its configuration. The configuration must have
+// been validated.
+func NewCache(name string, cfg CacheConfig) *Cache {
+	sets := cfg.Sets()
+	return &Cache{
+		name:    name,
+		latency: cfg.LatencyCycles,
+		ways:    cfg.Ways,
+		sets:    uint64(sets),
+		tags:    make([]uint64, sets*cfg.Ways),
+		use:     make([]uint64, sets*cfg.Ways),
+	}
+}
+
+// Name returns the label given at construction time.
+func (c *Cache) Name() string { return c.name }
+
+// Latency returns the hit latency in cycles.
+func (c *Cache) Latency() uint64 { return c.latency }
+
+// setBase returns the index of the first way of the set holding line.
+func (c *Cache) setBase(line uint64) int {
+	return int(line%c.sets) * c.ways
+}
+
+// Lookup reports whether line is present and, if so, marks it most recently
+// used. Statistics are updated.
+func (c *Cache) Lookup(line uint64) bool {
+	base := c.setBase(line)
+	tag := line + 1
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == tag {
+			c.clock++
+			c.use[base+w] = c.clock
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Contains reports whether line is present without updating recency or
+// statistics. It is used by prefetch filtering.
+func (c *Cache) Contains(line uint64) bool {
+	base := c.setBase(line)
+	tag := line + 1
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert places line in the cache, evicting the least recently used way of
+// its set if necessary. It returns the evicted line and true if an eviction
+// of a valid line occurred. Inserting a line that is already present only
+// refreshes its recency.
+func (c *Cache) Insert(line uint64) (evicted uint64, ok bool) {
+	base := c.setBase(line)
+	tag := line + 1
+	c.clock++
+
+	victim := base
+	victimUse := c.use[base]
+	for w := 0; w < c.ways; w++ {
+		idx := base + w
+		if c.tags[idx] == tag {
+			c.use[idx] = c.clock
+			return 0, false
+		}
+		if c.tags[idx] == 0 {
+			// Prefer an invalid way; mark it as the victim and stop
+			// considering occupied ways.
+			victim = idx
+			victimUse = 0
+			continue
+		}
+		if c.use[idx] < victimUse {
+			victim = idx
+			victimUse = c.use[idx]
+		}
+	}
+	old := c.tags[victim]
+	c.tags[victim] = tag
+	c.use[victim] = c.clock
+	if old != 0 {
+		c.evictions++
+		return old - 1, true
+	}
+	return 0, false
+}
+
+// Invalidate removes line from the cache if present.
+func (c *Cache) Invalidate(line uint64) {
+	base := c.setBase(line)
+	tag := line + 1
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == tag {
+			c.tags[base+w] = 0
+			c.use[base+w] = 0
+			return
+		}
+	}
+}
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.use[i] = 0
+	}
+	c.clock = 0
+	c.hits = 0
+	c.misses = 0
+	c.evictions = 0
+}
+
+// Hits returns the number of Lookup calls that found their line.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of Lookup calls that did not find their line.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Evictions returns the number of valid lines displaced by Insert.
+func (c *Cache) Evictions() uint64 { return c.evictions }

@@ -1,0 +1,96 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// referenceCache is an obviously-correct model of a set-associative LRU
+// cache: per set, a slice ordered from most to least recently used.
+type referenceCache struct {
+	sets [][]uint64
+	ways int
+}
+
+func newReferenceCache(sets, ways int) *referenceCache {
+	return &referenceCache{sets: make([][]uint64, sets), ways: ways}
+}
+
+func (r *referenceCache) access(line uint64) bool {
+	set := int(line % uint64(len(r.sets)))
+	entries := r.sets[set]
+	for i, l := range entries {
+		if l == line {
+			// Move to the front (most recently used).
+			copy(entries[1:i+1], entries[:i])
+			entries[0] = line
+			return true
+		}
+	}
+	// Miss: insert at the front, evicting the LRU entry if needed.
+	if len(entries) < r.ways {
+		entries = append(entries, 0)
+	}
+	copy(entries[1:], entries)
+	entries[0] = line
+	r.sets[set] = entries
+	return false
+}
+
+// TestCacheMatchesReferenceModel replays random access traces on the real
+// cache (Lookup + Insert-on-miss, the way the Core drives it) and on the
+// reference model, and requires identical hit/miss decisions throughout.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	const ways, sets = 4, 16
+	f := func(seed uint64) bool {
+		c := NewCache("t", CacheConfig{SizeBytes: ways * sets * LineSize, Ways: ways, LatencyCycles: 1})
+		ref := newReferenceCache(sets, ways)
+		state := seed
+		next := func() uint64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			return state >> 33
+		}
+		for i := 0; i < 5000; i++ {
+			line := next() % 256
+			gotHit := c.Lookup(line)
+			if !gotHit {
+				c.Insert(line)
+			}
+			wantHit := ref.access(line)
+			if gotHit != wantHit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoreHitRatesImproveWithCacheSize is a sanity property of the whole
+// hierarchy: for the same random trace, a machine with larger caches must
+// not see more memory accesses than one with smaller caches.
+func TestCoreHitRatesImproveWithCacheSize(t *testing.T) {
+	trace := make([]Addr, 20000)
+	state := uint64(9)
+	for i := range trace {
+		state = state*6364136223846793005 + 1
+		trace[i] = Addr(64 + (state>>33)%(1<<14)*LineSize)
+	}
+	run := func(l3Lines int) uint64 {
+		cfg := testConfig()
+		cfg.L3 = CacheConfig{SizeBytes: l3Lines * LineSize, Ways: 8, LatencyCycles: 30}
+		sys := MustSystem(cfg)
+		c := sys.NewCore()
+		for _, a := range trace {
+			c.Load(a, 8)
+		}
+		return c.Stats().MemAccesses
+	}
+	small := run(1 << 10)
+	large := run(1 << 13)
+	if large > small {
+		t.Fatalf("larger LLC saw more memory accesses (%d) than smaller LLC (%d)", large, small)
+	}
+}

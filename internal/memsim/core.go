@@ -1,0 +1,413 @@
+package memsim
+
+// Core simulates one hardware thread: it owns a private L1-D and L2, shares
+// the L3 and off-chip queue of its System, and accounts both compute
+// (abstract instructions) and memory time (cache hits, outstanding-miss
+// waits, MSHR-full stalls, TLB walks).
+//
+// The execution engines and operator stage machines call Instr, Load, Store
+// and Prefetch; everything else (figures, tables, throughput numbers) is
+// derived from the resulting Stats.
+//
+// A Core is not safe for concurrent use.
+type Core struct {
+	cfg    *Config
+	l1     *Cache
+	l2     *Cache
+	l3     *Cache
+	mshr   *MSHRFile
+	tlb    *TLB
+	fabric *Fabric
+
+	cycle uint64
+	// cpiNum/cpiDen express compute cycles per instruction as a rational
+	// number: smtSharers / IssueWidth. Fractional cycles are accumulated in
+	// instrAcc (in units of 1/cpiDen cycles) so accounting stays exact.
+	cpiNum   uint64
+	cpiDen   uint64
+	instrAcc uint64
+
+	smtSharers int
+
+	// oooHide is the number of stall cycles per demand access that the
+	// out-of-order window hides by executing independent instructions; see
+	// the cost-model discussion in DESIGN.md.
+	oooHide uint64
+
+	// streams are the hardware streaming prefetcher's trackers: when a
+	// demand access continues a tracked sequential stream, the prefetcher
+	// runs a few lines ahead so scans (input relations, output buffers)
+	// stay cheap, exactly as on the real machines. Pointer chases never
+	// match a stream, so the software techniques keep their role.
+	streams      []uint64 // next expected line per tracker, 0 = idle
+	streamRR     int
+	streamAhead  uint64
+	streamEnable bool
+
+	// offchipDemand is a peak-holding estimate of how many off-chip misses
+	// this thread keeps in flight. The shared off-chip queue (Fabric) uses
+	// it to model contention: the instantaneous outstanding count at issue
+	// time underestimates pressure because the thread spends most of its
+	// stalled time with a full MSHR file, so the peak (with slow decay) is
+	// the better proxy for the load the thread places on the socket.
+	offchipDemand int
+
+	stats Stats
+}
+
+// newCore is called by System.NewCore.
+func newCore(cfg *Config, l3 *Cache, fabric *Fabric) *Core {
+	c := &Core{
+		cfg:    cfg,
+		l1:     NewCache("L1D", cfg.L1D),
+		l2:     NewCache("L2", cfg.L2),
+		l3:     l3,
+		tlb:    NewTLB(cfg.TLB),
+		fabric: fabric,
+	}
+	c.SetSMTSharers(1)
+	c.oooHide = defaultOoOHide(cfg)
+	trackers := cfg.StreamTrackers
+	if trackers <= 0 {
+		trackers = 8
+	}
+	ahead := cfg.StreamDistance
+	if ahead <= 0 {
+		ahead = 4
+	}
+	c.streams = make([]uint64, trackers)
+	c.streamAhead = uint64(ahead)
+	c.streamEnable = !cfg.DisableStreamPrefetcher
+	return c
+}
+
+// streamCheck feeds the hardware streaming prefetcher with a demand-accessed
+// line. If the line continues a tracked stream, the prefetcher installs the
+// next few lines; otherwise a tracker is (re)trained to expect the following
+// line.
+func (c *Core) streamCheck(line uint64) {
+	if !c.streamEnable {
+		return
+	}
+	for i := range c.streams {
+		if c.streams[i] != 0 && line == c.streams[i] {
+			for d := uint64(1); d <= c.streamAhead; d++ {
+				c.fill(line + d)
+			}
+			c.streams[i] = line + 1
+			c.stats.StreamFills += c.streamAhead
+			return
+		}
+	}
+	c.streams[c.streamRR] = line + 1
+	c.streamRR = (c.streamRR + 1) % len(c.streams)
+}
+
+// defaultOoOHide derives the per-access latency the out-of-order engine hides
+// from the issue width: wider cores find more independent work around a miss.
+func defaultOoOHide(cfg *Config) uint64 {
+	switch {
+	case cfg.IssueWidth >= 4:
+		return 35
+	case cfg.IssueWidth >= 2:
+		return 12
+	default:
+		return 4
+	}
+}
+
+// SetSMTSharers declares how many hardware threads share this core's pipeline
+// and MSHRs. The representative thread then retires instructions at
+// SustainedIPC/n per cycle and may keep only L1MSHRs/n misses outstanding.
+// Calling it resets the MSHR file.
+func (c *Core) SetSMTSharers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.smtSharers = n
+	ipc := c.cfg.SustainedIPC
+	if ipc <= 0 {
+		ipc = 0.6 * float64(c.cfg.IssueWidth)
+	}
+	// cycles per instruction = sharers / ipc, kept as an exact rational in
+	// tenths of an instruction per cycle.
+	c.cpiNum = uint64(n) * 10
+	c.cpiDen = uint64(ipc*10 + 0.5)
+	if c.cpiDen == 0 {
+		c.cpiDen = 1
+	}
+	c.instrAcc = 0
+	budget := c.cfg.L1MSHRs / n
+	if budget < 1 {
+		budget = 1
+	}
+	c.mshr = NewMSHRFile(budget)
+}
+
+// SMTSharers returns the declared sharer count.
+func (c *Core) SMTSharers() int { return c.smtSharers }
+
+// SetOoOHideCycles overrides the per-access latency hidden by the
+// out-of-order window (used by ablation experiments).
+func (c *Core) SetOoOHideCycles(n uint64) { c.oooHide = n }
+
+// Config returns the machine configuration this core simulates.
+func (c *Core) Config() *Config { return c.cfg }
+
+// Cycle returns the current simulated cycle.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Seconds converts the current cycle count to seconds at the configured
+// clock frequency.
+func (c *Core) Seconds() float64 { return float64(c.cycle) / c.cfg.FreqHz }
+
+// Stats returns a snapshot of the counters; Cycles is filled in from the
+// current cycle.
+func (c *Core) Stats() Stats {
+	s := c.stats
+	s.Cycles = c.cycle
+	return s
+}
+
+// ResetStats zeroes counters and the cycle clock but keeps cache, TLB and
+// MSHR contents, so a measured phase can start against a warmed hierarchy
+// (for example probing a hash table that a build phase just populated).
+func (c *Core) ResetStats() {
+	c.stats = Stats{}
+	c.cycle = 0
+	c.instrAcc = 0
+	c.mshr.Reset()
+}
+
+// Reset restores the core to a cold state: caches, TLB, MSHRs, counters.
+// The shared L3 is not touched; use System.Reset for that.
+func (c *Core) Reset() {
+	c.l1.Reset()
+	c.l2.Reset()
+	c.tlb.Reset()
+	c.mshr.Reset()
+	for i := range c.streams {
+		c.streams[i] = 0
+	}
+	c.stats = Stats{}
+	c.cycle = 0
+	c.instrAcc = 0
+}
+
+// L1 returns the private first-level data cache (exposed for tests).
+func (c *Core) L1() *Cache { return c.l1 }
+
+// L2 returns the private second-level cache (exposed for tests).
+func (c *Core) L2() *Cache { return c.l2 }
+
+// MSHROutstanding returns the number of misses currently in flight.
+func (c *Core) MSHROutstanding() int { return c.mshr.Outstanding() }
+
+// Instr charges n abstract instructions of compute. Cycles advance at the
+// core's effective issue width.
+func (c *Core) Instr(n int) {
+	if n <= 0 {
+		return
+	}
+	c.stats.Instructions += uint64(n)
+	c.instrAcc += uint64(n) * c.cpiNum
+	adv := c.instrAcc / c.cpiDen
+	c.instrAcc -= adv * c.cpiDen
+	c.cycle += adv
+}
+
+// advance moves the clock forward by stall cycles (memory time).
+func (c *Core) advance(cycles uint64) {
+	c.cycle += cycles
+	c.stats.StallCycles += cycles
+}
+
+// fill installs a line into the private hierarchy and the shared L3.
+func (c *Core) fill(line uint64) {
+	c.l1.Insert(line)
+	c.l2.Insert(line)
+	c.l3.Insert(line)
+}
+
+// drainMSHRs retires every outstanding miss whose data has arrived.
+func (c *Core) drainMSHRs() {
+	c.mshr.Drain(c.cycle, c.fill)
+}
+
+// translate charges a TLB walk if needed.
+func (c *Core) translate(a Addr) {
+	if !c.tlb.Translate(a) {
+		c.stats.TLBMisses++
+		c.advance(c.tlb.Penalty())
+	}
+}
+
+// hidden applies the out-of-order window's latency hiding to a demand stall.
+func (c *Core) hidden(stall uint64) uint64 {
+	if stall <= c.oooHide {
+		return 0
+	}
+	return stall - c.oooHide
+}
+
+// missLatency determines where a line's data lives (L2, L3 or memory) and
+// returns the total fill latency from the L1 miss, along with whether the
+// fill comes from off-chip. Lower-level lookups update those caches' hit
+// statistics and recency, mirroring an inclusive hierarchy.
+func (c *Core) missLatency(line uint64) (lat uint64, offchip bool) {
+	if c.l2.Lookup(line) {
+		c.stats.L2Hits++
+		return c.l2.Latency(), false
+	}
+	if c.l3.Lookup(line) {
+		c.stats.L3Hits++
+		return c.l2.Latency() + c.l3.Latency(), false
+	}
+	c.stats.MemAccesses++
+	outstanding := c.mshr.OutstandingOffchip() + 1
+	// Peak-hold with slow decay: see the offchipDemand field comment.
+	c.offchipDemand = c.offchipDemand * 31 / 32
+	if outstanding > c.offchipDemand {
+		c.offchipDemand = outstanding
+	}
+	mem := c.fabric.OffchipLatency(c.cfg.MemLatencyCycles, c.offchipDemand)
+	c.stats.OffchipQueueExtra += mem - c.cfg.MemLatencyCycles
+	return c.l2.Latency() + c.l3.Latency() + mem, true
+}
+
+// waitForMSHR stalls until at least one MSHR is free, draining completions.
+func (c *Core) waitForMSHR() {
+	for c.mshr.Full() {
+		ready, ok := c.mshr.EarliestReady()
+		if !ok {
+			return
+		}
+		if ready > c.cycle {
+			wait := ready - c.cycle
+			c.stats.MSHRFullStalls++
+			c.stats.MSHRFullWaitCycles += wait
+			c.advance(wait)
+		}
+		c.drainMSHRs()
+	}
+}
+
+// demandLine performs a blocking access to one cache line.
+func (c *Core) demandLine(line uint64) {
+	c.drainMSHRs()
+	c.streamCheck(line)
+
+	if c.l1.Lookup(line) {
+		c.stats.L1Hits++
+		c.advance(c.hidden(c.l1.Latency()))
+		return
+	}
+
+	// The line may already be in flight thanks to an earlier prefetch: the
+	// access waits only for the remaining latency (an "MSHR hit").
+	if e := c.mshr.Lookup(line); e != nil {
+		c.stats.MSHRHits++
+		if e.ready > c.cycle {
+			wait := e.ready - c.cycle
+			c.stats.MSHRHitWaitCycles += wait
+			c.advance(c.hidden(wait))
+			// The data has now (logically) arrived even if hiding
+			// shortened the visible stall.
+			e.ready = c.cycle
+		}
+		c.drainMSHRs()
+		if !c.l1.Contains(line) {
+			c.fill(line)
+		}
+		return
+	}
+
+	// True miss: block for the full fill latency.
+	lat, _ := c.missLatency(line)
+	c.advance(c.hidden(c.l1.Latency() + lat))
+	c.fill(line)
+}
+
+// Load performs a blocking read of size bytes at address a, charging one
+// instruction plus memory time for every cache line touched.
+func (c *Core) Load(a Addr, size int) {
+	c.Instr(1)
+	c.stats.Loads++
+	c.translate(a)
+	c.accessLines(a, size)
+}
+
+// Store performs a blocking write of size bytes at address a. The model
+// treats it as read-for-ownership: same latency as a load.
+func (c *Core) Store(a Addr, size int) {
+	c.Instr(1)
+	c.stats.Stores++
+	c.translate(a)
+	c.accessLines(a, size)
+}
+
+func (c *Core) accessLines(a Addr, size int) {
+	if size <= 0 {
+		size = 1
+	}
+	first := Line(a)
+	last := Line(a + Addr(size) - 1)
+	for line := first; line <= last; line++ {
+		c.demandLine(line)
+	}
+}
+
+// Prefetch issues a non-blocking fetch of the line containing a. It charges
+// one instruction; if the line is already on chip or in flight it is dropped,
+// otherwise it occupies an MSHR until its data arrives. If every MSHR is busy
+// the core stalls until one frees — this is the hardware ceiling on MLP.
+func (c *Core) Prefetch(a Addr) {
+	c.Instr(1)
+	c.stats.Prefetches++
+	c.translate(a)
+	c.drainMSHRs()
+
+	line := Line(a)
+	if c.l1.Contains(line) || c.mshr.Lookup(line) != nil {
+		c.stats.PrefetchDropped++
+		return
+	}
+	if c.cfg.DropPrefetchOnCacheHit && (c.l2.Contains(line) || c.l3.Contains(line)) {
+		// SPARC T4 discards prefetches that hit on chip (Section 5.5).
+		c.stats.PrefetchDropped++
+		return
+	}
+
+	c.waitForMSHR()
+	c.drainMSHRs()
+	lat, offchip := c.missLatency(line)
+	c.mshr.Allocate(line, c.cycle+lat, offchip)
+	c.stats.PrefetchIssued++
+}
+
+// PrefetchSpan prefetches every line covered by [a, a+size).
+func (c *Core) PrefetchSpan(a Addr, size int) {
+	if size <= 0 {
+		size = 1
+	}
+	first := Line(a)
+	last := Line(a + Addr(size) - 1)
+	for line := first; line <= last; line++ {
+		c.Prefetch(Addr(line << lineShift))
+	}
+}
+
+// Touch installs the lines covering [a, a+size) into the hierarchy without
+// charging any time or statistics. It is used to pre-warm caches to a
+// realistic state before a measured phase (for example, marking the probe
+// input's first lines resident) and by tests.
+func (c *Core) Touch(a Addr, size int) {
+	if size <= 0 {
+		size = 1
+	}
+	first := Line(a)
+	last := Line(a + Addr(size) - 1)
+	for line := first; line <= last; line++ {
+		c.fill(line)
+	}
+}

@@ -1,0 +1,26 @@
+// Package memsim provides a deterministic, cycle-accounting model of the
+// processor memory hierarchy used in the AMAC paper's evaluation (Kocberber,
+// Falsafi, Grot: "Asynchronous Memory Access Chaining", VLDB 2015).
+//
+// The paper measures real hardware (Intel Xeon x5670 and SPARC T4) with
+// performance counters; this package substitutes a software model of the same
+// resources so that the paper's experiments can be reproduced without prefetch
+// intrinsics or hardware PMUs:
+//
+//   - set-associative, LRU L1-D, L2 and shared L3 caches with the published
+//     sizes and latencies,
+//   - a per-core L1-D MSHR file that caps the number of in-flight misses
+//     (the resource that limits single-thread memory-level parallelism),
+//   - a shared off-chip "Global Queue" (Fabric) whose limited capacity causes
+//     the multi-threaded LLC contention described in Section 5.1.1,
+//   - a data TLB with large-page entries,
+//   - an instruction-cost accumulator so techniques with more bookkeeping
+//     (Group Prefetching, Software-Pipelined Prefetching) pay for it in cycles.
+//
+// All state advances only when the owning goroutine calls methods on a Core,
+// so simulations are single-threaded and fully deterministic.
+//
+// Addresses are abstract 64-bit values produced by package arena; the
+// simulator only looks at cache-line and page granularity, never at the bytes
+// behind an address.
+package memsim

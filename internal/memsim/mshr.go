@@ -1,0 +1,120 @@
+package memsim
+
+// mshrEntry tracks one outstanding L1-D miss.
+type mshrEntry struct {
+	line    uint64
+	ready   uint64 // cycle at which the fill arrives
+	offchip bool   // true if the fill comes from memory (occupies the LLC queue)
+	valid   bool
+}
+
+// MSHRFile models the per-core L1-D miss status handling registers. Every
+// miss that is outstanding (issued but not yet filled) occupies one entry;
+// when all entries are busy no further miss — demand or prefetch — can be
+// issued, which is exactly the mechanism that caps per-core MLP in the paper.
+type MSHRFile struct {
+	entries []mshrEntry
+}
+
+// NewMSHRFile returns a file with n entries.
+func NewMSHRFile(n int) *MSHRFile {
+	return &MSHRFile{entries: make([]mshrEntry, n)}
+}
+
+// Size returns the number of registers.
+func (m *MSHRFile) Size() int { return len(m.entries) }
+
+// Lookup returns the entry tracking line, or nil.
+func (m *MSHRFile) Lookup(line uint64) *mshrEntry {
+	for i := range m.entries {
+		if m.entries[i].valid && m.entries[i].line == line {
+			return &m.entries[i]
+		}
+	}
+	return nil
+}
+
+// Allocate records a new outstanding miss. It returns false if every entry is
+// busy; the caller must stall until EarliestReady and drain before retrying.
+func (m *MSHRFile) Allocate(line, ready uint64, offchip bool) bool {
+	for i := range m.entries {
+		if !m.entries[i].valid {
+			m.entries[i] = mshrEntry{line: line, ready: ready, offchip: offchip, valid: true}
+			return true
+		}
+	}
+	return false
+}
+
+// Full reports whether every register is occupied.
+func (m *MSHRFile) Full() bool {
+	for i := range m.entries {
+		if !m.entries[i].valid {
+			return false
+		}
+	}
+	return true
+}
+
+// Outstanding returns the number of occupied registers.
+func (m *MSHRFile) Outstanding() int {
+	n := 0
+	for i := range m.entries {
+		if m.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// OutstandingOffchip returns the number of occupied registers whose fills
+// come from off-chip memory. The Fabric uses this to model contention for the
+// shared LLC queue.
+func (m *MSHRFile) OutstandingOffchip() int {
+	n := 0
+	for i := range m.entries {
+		if m.entries[i].valid && m.entries[i].offchip {
+			n++
+		}
+	}
+	return n
+}
+
+// EarliestReady returns the smallest ready cycle among occupied entries and
+// true, or 0 and false if the file is empty.
+func (m *MSHRFile) EarliestReady() (uint64, bool) {
+	var best uint64
+	found := false
+	for i := range m.entries {
+		if !m.entries[i].valid {
+			continue
+		}
+		if !found || m.entries[i].ready < best {
+			best = m.entries[i].ready
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Drain removes every entry whose fill has arrived by cycle now and invokes
+// fill for each completed line (oldest-ready first is not required; fills are
+// order-independent).
+func (m *MSHRFile) Drain(now uint64, fill func(line uint64)) {
+	for i := range m.entries {
+		if m.entries[i].valid && m.entries[i].ready <= now {
+			line := m.entries[i].line
+			m.entries[i] = mshrEntry{}
+			if fill != nil {
+				fill(line)
+			}
+		}
+	}
+}
+
+// Reset clears all entries.
+func (m *MSHRFile) Reset() {
+	for i := range m.entries {
+		m.entries[i] = mshrEntry{}
+	}
+}

@@ -1,0 +1,79 @@
+package memsim
+
+import "testing"
+
+func TestMSHRAllocateUntilFull(t *testing.T) {
+	m := NewMSHRFile(3)
+	if m.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", m.Size())
+	}
+	for i := uint64(0); i < 3; i++ {
+		if !m.Allocate(i, 100+i, false) {
+			t.Fatalf("allocation %d failed unexpectedly", i)
+		}
+	}
+	if !m.Full() {
+		t.Fatal("file should be full")
+	}
+	if m.Allocate(99, 50, false) {
+		t.Fatal("allocation should fail when full")
+	}
+	if m.Outstanding() != 3 {
+		t.Fatalf("Outstanding = %d, want 3", m.Outstanding())
+	}
+}
+
+func TestMSHRLookup(t *testing.T) {
+	m := NewMSHRFile(2)
+	m.Allocate(7, 42, true)
+	e := m.Lookup(7)
+	if e == nil || e.ready != 42 || !e.offchip {
+		t.Fatalf("Lookup(7) = %+v", e)
+	}
+	if m.Lookup(8) != nil {
+		t.Fatal("Lookup of absent line should return nil")
+	}
+}
+
+func TestMSHREarliestReadyAndDrain(t *testing.T) {
+	m := NewMSHRFile(4)
+	m.Allocate(1, 100, false)
+	m.Allocate(2, 50, true)
+	m.Allocate(3, 200, false)
+
+	ready, ok := m.EarliestReady()
+	if !ok || ready != 50 {
+		t.Fatalf("EarliestReady = %d,%v, want 50,true", ready, ok)
+	}
+
+	var filled []uint64
+	m.Drain(120, func(line uint64) { filled = append(filled, line) })
+	if len(filled) != 2 {
+		t.Fatalf("Drain filled %v, want lines 1 and 2", filled)
+	}
+	if m.Outstanding() != 1 || m.Lookup(3) == nil {
+		t.Fatal("line 3 should remain outstanding")
+	}
+
+	m.Drain(1000, nil) // nil fill must be tolerated
+	if m.Outstanding() != 0 {
+		t.Fatal("all entries should have drained")
+	}
+	if _, ok := m.EarliestReady(); ok {
+		t.Fatal("EarliestReady on empty file should report false")
+	}
+}
+
+func TestMSHROutstandingOffchip(t *testing.T) {
+	m := NewMSHRFile(4)
+	m.Allocate(1, 10, true)
+	m.Allocate(2, 10, false)
+	m.Allocate(3, 10, true)
+	if got := m.OutstandingOffchip(); got != 2 {
+		t.Fatalf("OutstandingOffchip = %d, want 2", got)
+	}
+	m.Reset()
+	if m.Outstanding() != 0 {
+		t.Fatal("Reset did not clear entries")
+	}
+}

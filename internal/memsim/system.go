@@ -1,0 +1,85 @@
+package memsim
+
+import "fmt"
+
+// System represents one socket: a shared last-level cache and a shared
+// off-chip load queue, from which any number of representative cores can be
+// created. Multi-threaded experiments simulate a single representative
+// hardware thread in detail and tell the System how many identical threads
+// are active; see Fabric for how that contention is applied.
+type System struct {
+	cfg    Config
+	l3     *Cache
+	fabric *Fabric
+
+	activeThreads int
+}
+
+// NewSystem validates cfg and builds a socket model.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{
+		cfg:           cfg,
+		l3:            NewCache("L3", cfg.L3),
+		fabric:        NewFabric(cfg.LLCQueueEntries),
+		activeThreads: 1,
+	}, nil
+}
+
+// MustSystem is NewSystem for known-good configurations; it panics on error.
+func MustSystem(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("memsim: %v", err))
+	}
+	return s
+}
+
+// Config returns the socket configuration.
+func (s *System) Config() *Config { return &s.cfg }
+
+// L3 returns the shared last-level cache.
+func (s *System) L3() *Cache { return s.l3 }
+
+// Fabric returns the shared off-chip queue model.
+func (s *System) Fabric() *Fabric { return s.fabric }
+
+// NewCore creates a representative hardware thread attached to this socket.
+func (s *System) NewCore() *Core {
+	return newCore(&s.cfg, s.l3, s.fabric)
+}
+
+// SetActiveThreads declares the total number of software threads running on
+// this socket and derives both the off-chip queue sharing and the SMT sharing
+// that the given representative core should use. Threads are assigned to
+// physical cores first (one per core), then to SMT contexts, matching the
+// paper's thread-placement methodology.
+func (s *System) SetActiveThreads(total int, core *Core) {
+	if total < 1 {
+		total = 1
+	}
+	s.activeThreads = total
+	s.fabric.SetActiveThreads(total)
+	smt := 1
+	if total > s.cfg.Cores {
+		// Ceiling division: how many contexts share the busiest core.
+		smt = (total + s.cfg.Cores - 1) / s.cfg.Cores
+		if smt > s.cfg.SMTPerCore {
+			smt = s.cfg.SMTPerCore
+		}
+	}
+	if core != nil {
+		core.SetSMTSharers(smt)
+	}
+}
+
+// ActiveThreads returns the currently declared thread count.
+func (s *System) ActiveThreads() int { return s.activeThreads }
+
+// Reset clears the shared cache and fabric statistics.
+func (s *System) Reset() {
+	s.l3.Reset()
+	s.fabric.Reset()
+}

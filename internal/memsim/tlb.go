@@ -1,0 +1,91 @@
+package memsim
+
+// TLB is a fully associative, true-LRU data TLB for large pages. With the
+// 2 MB / 4 MB pages used by the paper a handful of entries covers the whole
+// working set, so TLB misses are rare during steady-state probing; the model
+// exists so that pathological configurations (the "more than 32 in-flight
+// lookups" discussion of Section 6) show the expected thrashing.
+type TLB struct {
+	pageShift uint
+	penalty   uint64
+
+	pages []uint64 // pageNumber+1, 0 = invalid
+	use   []uint64
+	clock uint64
+	// lastPage caches the most recent translation; with large pages almost
+	// every access hits it, which keeps the simulator fast.
+	lastPage uint64
+	misses   uint64
+	hits     uint64
+}
+
+// NewTLB constructs a TLB from its configuration; cfg must have been
+// validated (power-of-two page size, positive entry count).
+func NewTLB(cfg TLBConfig) *TLB {
+	shift := uint(0)
+	for sz := cfg.PageBytes; sz > 1; sz >>= 1 {
+		shift++
+	}
+	return &TLB{
+		pageShift: shift,
+		penalty:   cfg.MissPenaltyCycles,
+		pages:     make([]uint64, cfg.Entries),
+		use:       make([]uint64, cfg.Entries),
+	}
+}
+
+// Penalty returns the page-walk cost in cycles.
+func (t *TLB) Penalty() uint64 { return t.penalty }
+
+// Translate looks up the page containing a, installing it on a miss, and
+// reports whether the access hit.
+func (t *TLB) Translate(a Addr) bool {
+	page := uint64(a)>>t.pageShift + 1
+	if page == t.lastPage {
+		t.hits++
+		return true
+	}
+	t.clock++
+	victim := 0
+	victimUse := t.use[0]
+	for i := range t.pages {
+		if t.pages[i] == page {
+			t.use[i] = t.clock
+			t.hits++
+			t.lastPage = page
+			return true
+		}
+		if t.pages[i] == 0 {
+			victim = i
+			victimUse = 0
+			continue
+		}
+		if t.use[i] < victimUse {
+			victim = i
+			victimUse = t.use[i]
+		}
+	}
+	t.pages[victim] = page
+	t.use[victim] = t.clock
+	t.lastPage = page
+	t.misses++
+	return false
+}
+
+// Hits returns the number of translations that hit.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the number of translations that required a walk.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// Reset clears all translations and statistics.
+func (t *TLB) Reset() {
+	for i := range t.pages {
+		t.pages[i] = 0
+		t.use[i] = 0
+	}
+	t.clock = 0
+	t.lastPage = 0
+	t.hits = 0
+	t.misses = 0
+}

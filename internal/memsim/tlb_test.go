@@ -1,0 +1,60 @@
+package memsim
+
+import "testing"
+
+func TestTLBHitAndMiss(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 2, PageBytes: 1 << 12, MissPenaltyCycles: 30})
+	if tlb.Penalty() != 30 {
+		t.Fatalf("Penalty = %d", tlb.Penalty())
+	}
+	if tlb.Translate(0x1000) {
+		t.Fatal("first access to a page must miss")
+	}
+	if !tlb.Translate(0x1fff) {
+		t.Fatal("second access to the same page must hit")
+	}
+	if tlb.Hits() != 1 || tlb.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", tlb.Hits(), tlb.Misses())
+	}
+}
+
+func TestTLBLRUReplacement(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 2, PageBytes: 1 << 12, MissPenaltyCycles: 1})
+	tlb.Translate(0x0000) // page 0
+	tlb.Translate(0x1000) // page 1
+	tlb.Translate(0x0000) // touch page 0: page 1 is now LRU
+	tlb.Translate(0x2000) // page 2 evicts page 1
+	if !tlb.Translate(0x0000) {
+		t.Fatal("page 0 should have survived")
+	}
+	if tlb.Translate(0x1000) {
+		t.Fatal("page 1 should have been evicted")
+	}
+}
+
+func TestTLBLargePagesCoverWorkingSet(t *testing.T) {
+	// With 2 MB pages and 64 entries, a 100 MB working set misses only on
+	// first touch of each page.
+	tlb := NewTLB(TLBConfig{Entries: 64, PageBytes: 2 << 20, MissPenaltyCycles: 30})
+	const pages = 50
+	for pass := 0; pass < 3; pass++ {
+		for p := 0; p < pages; p++ {
+			tlb.Translate(Addr(p) * (2 << 20))
+		}
+	}
+	if tlb.Misses() != pages {
+		t.Fatalf("misses = %d, want %d (first touch only)", tlb.Misses(), pages)
+	}
+}
+
+func TestTLBReset(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 4, PageBytes: 1 << 12, MissPenaltyCycles: 1})
+	tlb.Translate(0)
+	tlb.Reset()
+	if tlb.Hits() != 0 || tlb.Misses() != 0 {
+		t.Fatal("Reset did not clear statistics")
+	}
+	if tlb.Translate(0) {
+		t.Fatal("translation should miss after Reset")
+	}
+}

@@ -1,0 +1,52 @@
+// Package ops implements the paper's database operators — hash join build
+// and probe, group-by with aggregation, binary-search-tree search, and skip
+// list search and insert — as stage machines (exec.Machine) whose code
+// stages follow the paper's Table 1. One machine definition serves all four
+// execution techniques (Baseline, GP, SPP, AMAC), so measured differences
+// come from scheduling alone, as in the paper's methodology.
+//
+// All data (input relations, hash tables, trees, skip lists, output buffers)
+// lives in a simulated arena; every node visit is exactly one charged memory
+// access, and compute work is charged in abstract instructions using the
+// constants below.
+package ops
+
+// Operator compute costs, in abstract instructions. They stand in for the
+// arithmetic the real implementations perform; the absolute values matter
+// less than their rough proportions, which follow the paper's descriptions
+// (hashing is a few ALU operations, applying six aggregate functions is a
+// couple of dozen, the skip list's splice with its function calls and random
+// level generation is the most CPU-intensive phase evaluated).
+const (
+	// CostHash covers hashing a key and computing the bucket address.
+	CostHash = 10
+	// CostTupleFetch covers decoding an input tuple after its (charged) load.
+	CostTupleFetch = 4
+	// CostCompare covers one key comparison and branch.
+	CostCompare = 4
+	// CostMaterialize covers emitting one output tuple besides its store.
+	CostMaterialize = 6
+	// CostLatchAcquire covers a latch test-and-set attempt.
+	CostLatchAcquire = 3
+	// CostLatchRelease covers releasing a latch.
+	CostLatchRelease = 2
+	// CostInsertTuple covers writing a tuple into a node besides its store.
+	CostInsertTuple = 5
+	// CostAllocNode covers allocating and initialising a fresh node.
+	CostAllocNode = 12
+	// CostAggUpdate covers applying the six aggregate functions (count,
+	// sum, sum of squares, min, max, average) to a group.
+	CostAggUpdate = 18
+	// CostDescend covers moving one level down in a skip list tower or one
+	// level down a tree without an additional memory access.
+	CostDescend = 3
+	// CostRandomLevel covers drawing the random tower height for a skip
+	// list insert (the paper notes this involves function calls).
+	CostRandomLevel = 10
+	// CostSpliceLevel covers linking the new skip list node at one level
+	// (two pointer writes plus latch bookkeeping), charged per level.
+	CostSpliceLevel = 6
+	// CostValidate covers re-checking one predecessor during a skip list
+	// splice (the concurrent list's validation step).
+	CostValidate = 3
+)

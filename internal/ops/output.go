@@ -1,0 +1,83 @@
+package ops
+
+import (
+	"amac/internal/arena"
+	"amac/internal/memsim"
+)
+
+// JoinRow is one materialized join or index-lookup result.
+type JoinRow struct {
+	// RID is the probe-side row id (the paper's rid/idx state field); the
+	// output slot an engine writes is determined by it, which is how AMAC
+	// preserves input order even though lookups complete out of order.
+	RID int
+	// Key is the join key.
+	Key uint64
+	// BuildPayload is the matched build-side (or index) payload.
+	BuildPayload uint64
+	// ProbePayload is the probe-side payload carried through the lookup.
+	ProbePayload uint64
+}
+
+// Output materializes operator results. Stores are charged against a
+// rotating arena-resident buffer addressed by row id — sequential,
+// cache-friendly traffic like the paper's out[idx] = payload — while the
+// logical results are optionally retained in Go memory for verification and
+// always folded into an order-independent checksum.
+type Output struct {
+	a     *arena.Arena
+	base  arena.Addr
+	slots uint64
+
+	// Count is the number of emitted results.
+	Count uint64
+	// Checksum is an order-independent digest of all emitted rows.
+	Checksum uint64
+	// Keep controls whether Rows is populated (tests and examples do;
+	// large benchmark runs do not).
+	Keep bool
+	// Rows holds the emitted rows when Keep is set.
+	Rows []JoinRow
+}
+
+// outputBufferSlots is the size of the charged output window. Real runs
+// write a multi-gigabyte output array sequentially; a rotating window
+// produces the same per-emit store traffic without allocating it.
+const outputBufferSlots = 1 << 16
+
+// NewOutput creates a collector backed by buf slots of 16 bytes each.
+func NewOutput(a *arena.Arena, keep bool) *Output {
+	return &Output{
+		a:     a,
+		base:  a.AllocSpan(outputBufferSlots * 16),
+		slots: outputBufferSlots,
+		Keep:  keep,
+	}
+}
+
+// Emit materializes one result row on behalf of the lookup with row id rid.
+func (o *Output) Emit(c *memsim.Core, rid int, key, buildPayload, probePayload uint64) {
+	c.Instr(CostMaterialize)
+	slot := uint64(rid) % o.slots
+	addr := o.base + arena.Addr(slot*16)
+	c.Store(addr, 16)
+	o.a.WriteU64(addr, key)
+	o.a.WriteU64(addr+8, buildPayload)
+
+	o.Count++
+	o.Checksum += mix(uint64(rid)) ^ mix(key) ^ mix(buildPayload+1) ^ mix(probePayload+2)
+	if o.Keep {
+		o.Rows = append(o.Rows, JoinRow{RID: rid, Key: key, BuildPayload: buildPayload, ProbePayload: probePayload})
+	}
+}
+
+// mix is a 64-bit finalizer (splitmix64) so the checksum is sensitive to
+// which values appear, not just to their sum.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,109 @@
+package ops_test
+
+import (
+	"testing"
+
+	"amac/internal/ops"
+	"amac/internal/relation"
+)
+
+func TestProbeLimitRestrictsLookups(t *testing.T) {
+	j := buildJoin(t, joinSpec(0, 0))
+	j.PrebuildRaw()
+	out := ops.NewOutput(j.Arena, false)
+	m := j.ProbeMachine(out, true)
+	m.Limit = 100
+	if m.NumLookups() != 100 {
+		t.Fatalf("NumLookups = %d, want 100", m.NumLookups())
+	}
+	ops.RunMachine(newCore(), m, ops.AMAC, ops.Params{Window: 8})
+	if out.Count != 100 {
+		t.Fatalf("probed %d tuples, want 100", out.Count)
+	}
+
+	// A limit beyond the input size is ignored.
+	m2 := j.ProbeMachine(ops.NewOutput(j.Arena, false), true)
+	m2.Limit = 1 << 30
+	if m2.NumLookups() != j.Probe.Len() {
+		t.Fatalf("oversized limit should fall back to the input size")
+	}
+}
+
+func TestProbeProvisionOverride(t *testing.T) {
+	j := buildJoin(t, joinSpec(0, 0))
+	m := j.ProbeMachine(ops.NewOutput(j.Arena, false), true)
+	if m.ProvisionedStages() != 2 {
+		t.Fatalf("default provision = %d, want 2", m.ProvisionedStages())
+	}
+	m.Provision = 7
+	if m.ProvisionedStages() != 7 {
+		t.Fatalf("override provision = %d, want 7", m.ProvisionedStages())
+	}
+	b := j.BuildMachine()
+	b.Provision = 4
+	if b.ProvisionedStages() != 4 {
+		t.Fatal("build provision override broken")
+	}
+	g := ops.GroupByMachine{Table: nil, In: j.Probe, Provision: 5}
+	if g.ProvisionedStages() != 5 {
+		t.Fatal("group-by provision override broken")
+	}
+}
+
+// TestUnderProvisionedEnginesStayCorrect is the regression test for the
+// quadratic bail-out behaviour: probes over long skewed chains with a far
+// too small provisioned depth must still produce correct results in
+// reasonable time.
+func TestUnderProvisionedEnginesStayCorrect(t *testing.T) {
+	build, probe, err := relation.BuildJoin(relation.JoinSpec{
+		BuildSize: 1 << 13, ProbeSize: 1 << 12, ZipfBuild: 1.0, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := ops.NewHashJoin(build, probe)
+	j.PrebuildRaw()
+	wantCount, wantSum := j.ReferenceJoin()
+	for _, tech := range []ops.Technique{ops.GP, ops.SPP} {
+		out := ops.NewOutput(j.Arena, false)
+		m := j.ProbeMachine(out, false)
+		m.Provision = 2 // far below the skewed chain lengths
+		ops.RunMachine(newCore(), m, tech, ops.Params{Window: 10})
+		if out.Count != wantCount || out.Checksum != wantSum {
+			t.Fatalf("%s with under-provisioned stages produced wrong results", tech)
+		}
+	}
+}
+
+func TestSkipListInsertRestartCounterOnConcurrentInserts(t *testing.T) {
+	// With many in-flight inserts into a small key range, some splices must
+	// observe stale predecessors and retry; the machine records them.
+	build, _, err := relation.BuildIndexWorkload(1<<10, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ops.NewSkipListWorkload(build, build)
+	m := w.InsertMachine(23)
+	ops.RunMachine(newCore(), m, ops.AMAC, ops.Params{Window: 16})
+	if m.Inserted != build.Len() {
+		t.Fatalf("inserted %d of %d", m.Inserted, build.Len())
+	}
+	if m.Restarts == 0 {
+		t.Log("no splice restarts observed (acceptable, but unusual with 16 in-flight inserts)")
+	}
+}
+
+func TestOutputKeepsRowsOnlyWhenAsked(t *testing.T) {
+	j := buildJoin(t, joinSpec(0, 0))
+	j.PrebuildRaw()
+	quiet := ops.NewOutput(j.Arena, false)
+	ops.RunMachine(newCore(), j.ProbeMachine(quiet, true), ops.AMAC, ops.Params{})
+	if len(quiet.Rows) != 0 {
+		t.Fatal("rows retained although Keep was false")
+	}
+	kept := ops.NewOutput(j.Arena, true)
+	ops.RunMachine(newCore(), j.ProbeMachine(kept, true), ops.AMAC, ops.Params{})
+	if uint64(len(kept.Rows)) != kept.Count {
+		t.Fatalf("kept %d rows, counted %d", len(kept.Rows), kept.Count)
+	}
+}

@@ -1,0 +1,89 @@
+package xrand
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf draws values in [0, n) following a Zipf distribution with exponent
+// theta: P(k) is proportional to 1/(k+1)^theta. theta = 0 degenerates to the
+// uniform distribution; the paper uses theta in {0.5, 0.75, 1.0}.
+//
+// The sampler precomputes the cumulative distribution once and draws by
+// binary search, so generation is O(log n) per value and exact for any
+// theta >= 0.
+type Zipf struct {
+	rng *Rand
+	n   uint64
+	cdf []float64
+}
+
+// NewZipf builds a sampler over [0, n) with skew theta using rng as the
+// randomness source. It panics if n is zero or theta is negative, which are
+// programming errors in the workload definitions.
+func NewZipf(rng *Rand, theta float64, n uint64) *Zipf {
+	if n == 0 {
+		panic("xrand: Zipf domain must be non-empty")
+	}
+	if theta < 0 || math.IsNaN(theta) {
+		panic(fmt.Sprintf("xrand: invalid Zipf exponent %v", theta))
+	}
+	z := &Zipf{rng: rng, n: n}
+	if theta == 0 {
+		return z // uniform fast path, no CDF needed
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := uint64(0); k < n; k++ {
+		sum += 1.0 / math.Pow(float64(k+1), theta)
+		cdf[k] = sum
+	}
+	inv := 1.0 / sum
+	for k := range cdf {
+		cdf[k] *= inv
+	}
+	cdf[n-1] = 1.0
+	z.cdf = cdf
+	return z
+}
+
+// N returns the domain size.
+func (z *Zipf) N() uint64 { return z.n }
+
+// Next draws the next value. Value 0 is the most popular element.
+func (z *Zipf) Next() uint64 {
+	if z.cdf == nil {
+		return z.rng.Uint64n(z.n)
+	}
+	u := z.rng.Float64()
+	idx := sort.SearchFloat64s(z.cdf, u)
+	if uint64(idx) >= z.n {
+		idx = int(z.n - 1)
+	}
+	return uint64(idx)
+}
+
+// TopShare returns the fraction of draws expected to land in the most
+// popular `top` fraction of the domain — e.g. the paper's observation that
+// with theta = 0.75 the most populous 1% of hash buckets hold 19% of the
+// build tuples. It is used by tests to validate the sampler.
+func (z *Zipf) TopShare(top float64) float64 {
+	if top <= 0 {
+		return 0
+	}
+	if top >= 1 {
+		return 1
+	}
+	if z.cdf == nil {
+		return top
+	}
+	k := uint64(math.Ceil(top * float64(z.n)))
+	if k == 0 {
+		k = 1
+	}
+	if k > z.n {
+		k = z.n
+	}
+	return z.cdf[k-1]
+}

@@ -1,0 +1,104 @@
+package amac
+
+import (
+	"amac/internal/ht"
+	"amac/internal/ops"
+	"amac/internal/relation"
+)
+
+// Tuple is the 16-byte columnar tuple (8-byte key, 8-byte payload) used by
+// every workload in the paper.
+type Tuple = relation.Tuple
+
+// Relation is an in-memory column of tuples.
+type Relation = relation.Relation
+
+// JoinSpec describes a hash-join workload: build and probe sizes and the
+// Zipf skew of each relation's keys (the paper's [Z_R, Z_S]).
+type JoinSpec = relation.JoinSpec
+
+// BuildJoin generates the build (R) and probe (S) relations for a hash join.
+func BuildJoin(spec JoinSpec) (build, probe *Relation, err error) {
+	return relation.BuildJoin(spec)
+}
+
+// GroupBySpec describes a group-by workload.
+type GroupBySpec = relation.GroupBySpec
+
+// BuildGroupBy generates a group-by input relation.
+func BuildGroupBy(spec GroupBySpec) (*Relation, error) { return relation.BuildGroupBy(spec) }
+
+// BuildIndexWorkload generates the unique-key build relation and matching
+// probe relation used by the tree and skip list workloads.
+func BuildIndexWorkload(n int, seed uint64) (build, probe *Relation, err error) {
+	return relation.BuildIndexWorkload(n, seed)
+}
+
+// HashJoin is a hash-join workload materialized in a simulated arena: the
+// chained hash table plus the build and probe relations. Its machines run
+// under any Technique.
+type HashJoin = ops.HashJoin
+
+// NewHashJoin materializes a join workload with the reference bucket sizing
+// (two tuples per bucket header).
+func NewHashJoin(build, probe *Relation) *HashJoin { return ops.NewHashJoin(build, probe) }
+
+// NewHashJoinWithBuckets materializes a join workload with an explicit
+// bucket count.
+func NewHashJoinWithBuckets(build, probe *Relation, buckets int) *HashJoin {
+	return ops.NewHashJoinWithBuckets(build, probe, buckets)
+}
+
+// GroupBy is a group-by workload materialized in a simulated arena.
+type GroupBy = ops.GroupBy
+
+// NewGroupBy materializes a group-by workload sized for the expected number
+// of distinct groups.
+func NewGroupBy(rel *Relation, expectedGroups int) *GroupBy {
+	return ops.NewGroupBy(rel, expectedGroups)
+}
+
+// Aggregates is the materialized result of one group-by group (count, sum,
+// sum of squares, min, max; Avg is derived).
+type Aggregates = ht.Aggregates
+
+// BSTWorkload is a binary-search-tree search workload.
+type BSTWorkload = ops.BSTWorkload
+
+// NewBSTWorkload builds the tree index and materializes the probes.
+func NewBSTWorkload(build, probe *Relation) *BSTWorkload { return ops.NewBSTWorkload(build, probe) }
+
+// SkipListWorkload is a skip list search/insert workload.
+type SkipListWorkload = ops.SkipListWorkload
+
+// NewSkipListWorkload materializes the relations for skip list experiments.
+func NewSkipListWorkload(build, probe *Relation) *SkipListWorkload {
+	return ops.NewSkipListWorkload(build, probe)
+}
+
+// Output collects materialized operator results and charges their stores.
+type Output = ops.Output
+
+// NewOutput creates a result collector in the given arena; keep retains the
+// individual rows for inspection (tests, examples) in addition to the count
+// and checksum.
+func NewOutput(a *Arena, keep bool) *Output { return ops.NewOutput(a, keep) }
+
+// JoinRow is one materialized join or index-lookup result.
+type JoinRow = ops.JoinRow
+
+// Machines (implementations of Machine) for the paper's operators.
+type (
+	// ProbeMachine is the hash join probe operator.
+	ProbeMachine = ops.ProbeMachine
+	// BuildMachine is the hash join build operator.
+	BuildMachine = ops.BuildMachine
+	// GroupByMachine is the group-by operator with immediate aggregation.
+	GroupByMachine = ops.GroupByMachine
+	// BSTSearchMachine is the binary-search-tree search operator.
+	BSTSearchMachine = ops.BSTSearchMachine
+	// SkipListSearchMachine is the skip list search operator.
+	SkipListSearchMachine = ops.SkipListSearchMachine
+	// SkipListInsertMachine is the skip list insert operator.
+	SkipListInsertMachine = ops.SkipListInsertMachine
+)
