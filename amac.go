@@ -32,6 +32,10 @@ type Options = core.Options
 // RunStats summarises one AMAC execution.
 type RunStats = core.RunStats
 
+// MergeRunStats folds the per-worker AMAC scheduling stats of a sharded
+// parallel phase into one report (counters summed, largest Width kept).
+func MergeRunStats(perWorker []RunStats) RunStats { return core.MergeRunStats(perWorker) }
+
 // DefaultWidth is the default number of in-flight lookups for AMAC and for
 // Params.Window; it matches the per-core MLP limit of the paper's Xeon.
 const DefaultWidth = core.DefaultWidth

@@ -9,10 +9,12 @@
 //	amacbench -exp all                  # regenerate everything
 //	amacbench -exp fig7 -scale tiny     # quick smoke run
 //	amacbench -exp fig6 -window 15      # override the in-flight lookups
+//	amacbench -exp scaleN -workers 8    # sweep the parallel engine up to 8 workers
 //
 // Results are printed as aligned text tables whose rows and columns mirror
-// the paper's artifacts; EXPERIMENTS.md records the paper-reported values
-// next to the measured ones.
+// the paper's artifacts; EXPERIMENTS.md maps each experiment id to its paper
+// table or figure and records the paper-reported trend to compare the
+// measured values against.
 package main
 
 import (
@@ -26,31 +28,37 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments and exit")
-		exp    = flag.String("exp", "", "experiment id to run, or \"all\"")
-		scale  = flag.String("scale", "small", "dataset scale: tiny, small or paper")
-		seed   = flag.Uint64("seed", 42, "workload generation seed")
-		window = flag.Int("window", 0, "override the number of in-flight lookups (0 = per-experiment default)")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		exp     = flag.String("exp", "", "experiment id to run, or \"all\"")
+		scale   = flag.String("scale", "small", "dataset scale: tiny, small or paper")
+		seed    = flag.Uint64("seed", 42, "workload generation seed")
+		window  = flag.Int("window", 0, "override the number of in-flight lookups (0 = per-experiment default)")
+		workers = flag.Int("workers", 0, "cap the parallel experiments' worker sweep (0 = default sweep 1,2,4,8,16)")
 	)
 	flag.Parse()
 
 	if *list || *exp == "" {
-		fmt.Println("Available experiments:")
-		for _, d := range experiments.Registry() {
-			fmt.Printf("  %-12s %s\n", d.ID, d.Title)
-		}
+		listExperiments(os.Stdout)
 		if *exp == "" && !*list {
 			fmt.Println("\nrun with -exp <id> or -exp all")
 		}
 		return
 	}
 
+	if *window < 0 {
+		fmt.Fprintf(os.Stderr, "amacbench: -window must be non-negative, got %d\n", *window)
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "amacbench: -workers must be non-negative, got %d\n", *workers)
+		os.Exit(2)
+	}
 	sc, err := experiments.ParseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Scale: sc, Seed: *seed, Window: *window}
+	cfg := experiments.Config{Scale: sc, Seed: *seed, Window: *window, Workers: *workers}
 
 	var ids []string
 	if *exp == "all" {
@@ -58,6 +66,11 @@ func main() {
 			ids = append(ids, d.ID)
 		}
 	} else {
+		if _, ok := experiments.Find(*exp); !ok {
+			fmt.Fprintf(os.Stderr, "amacbench: unknown experiment %q\n\n", *exp)
+			listExperiments(os.Stderr)
+			os.Exit(2)
+		}
 		ids = []string{*exp}
 	}
 
@@ -72,5 +85,13 @@ func main() {
 			t.Render(os.Stdout)
 		}
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// listExperiments prints every registered experiment id and title.
+func listExperiments(w *os.File) {
+	fmt.Fprintln(w, "Available experiments:")
+	for _, d := range experiments.Registry() {
+		fmt.Fprintf(w, "  %-12s %s\n", d.ID, d.Title)
 	}
 }

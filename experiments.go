@@ -30,7 +30,7 @@ type ResultTable = profile.Table
 func Experiments() []Experiment { return experiments.Registry() }
 
 // RunExperiment regenerates the artifact with the given id ("fig5b",
-// "table3", ...). See DESIGN.md for the per-experiment index.
+// "table3", ...). See EXPERIMENTS.md for the per-experiment index.
 func RunExperiment(id string, cfg ExperimentConfig) ([]*ResultTable, error) {
 	return experiments.Run(id, cfg)
 }

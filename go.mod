@@ -1,0 +1,3 @@
+module amac
+
+go 1.24

@@ -194,3 +194,25 @@ type RunStats struct {
 	// Retries counts visits that found a latch held and moved on.
 	Retries uint64
 }
+
+// Add accumulates another run's scheduling counters, keeping the larger
+// Width, so that the per-worker AMAC runs of a sharded parallel phase can be
+// folded into one report.
+func (s *RunStats) Add(other RunStats) {
+	if other.Width > s.Width {
+		s.Width = other.Width
+	}
+	s.Initiated += other.Initiated
+	s.Completed += other.Completed
+	s.StageVisits += other.StageVisits
+	s.Retries += other.Retries
+}
+
+// MergeRunStats folds per-worker AMAC scheduling stats into one.
+func MergeRunStats(perWorker []RunStats) RunStats {
+	var merged RunStats
+	for _, w := range perWorker {
+		merged.Add(w)
+	}
+	return merged
+}

@@ -49,6 +49,10 @@ type Config struct {
 	// Window overrides the number of in-flight lookups for all prefetching
 	// techniques (zero keeps each experiment's default of 10).
 	Window int
+	// Workers caps the worker sweep of the parallel scalability experiments
+	// (scaleN): zero keeps the default sweep {1, 2, 4, 8, 16}; a positive
+	// value sweeps the powers of two up to it, plus the value itself.
+	Workers int
 }
 
 func (c Config) scale() Scale {
@@ -70,6 +74,19 @@ func (c Config) window() int {
 		return 10
 	}
 	return c.Window
+}
+
+// workerCounts returns the worker sweep for the parallel scalability
+// experiments.
+func (c Config) workerCounts() []int {
+	if c.Workers <= 0 {
+		return []int{1, 2, 4, 8, 16}
+	}
+	var counts []int
+	for w := 1; w < c.Workers; w *= 2 {
+		counts = append(counts, w)
+	}
+	return append(counts, c.Workers)
 }
 
 // sizes holds every scale-dependent knob.

@@ -19,7 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig3", "table3", "fig5a", "fig5b", "fig6", "fig7", "fig8", "table4",
 		"fig9", "fig10", "fig11", "fig12a", "fig12b", "fig13",
-		"abl-inflight", "abl-refill", "abl-mshr",
+		"abl-inflight", "abl-refill", "abl-mshr", "scaleN",
 	}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {
@@ -60,6 +60,15 @@ func TestConfigDefaults(t *testing.T) {
 	var c Config
 	if c.scale() != Small || c.seed() == 0 || c.window() != 10 {
 		t.Fatalf("defaults wrong: %v %v %v", c.scale(), c.seed(), c.window())
+	}
+	if got := c.workerCounts(); len(got) != 5 || got[0] != 1 || got[4] != 16 {
+		t.Fatalf("default worker sweep wrong: %v", got)
+	}
+	if got := (Config{Workers: 6}).workerCounts(); len(got) != 4 || got[3] != 6 {
+		t.Fatalf("capped worker sweep wrong: %v", got)
+	}
+	if got := (Config{Workers: 4}).workerCounts(); len(got) != 3 || got[2] != 4 {
+		t.Fatalf("power-of-two cap should not duplicate: %v", got)
 	}
 	if len(Config{Scale: Paper}.sizes().bstSizes) == 0 {
 		t.Fatal("paper scale must define BST sizes")

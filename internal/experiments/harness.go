@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"amac/internal/exec"
 	"amac/internal/memsim"
 	"amac/internal/ops"
 	"amac/internal/relation"
@@ -148,6 +149,119 @@ func warmTable(core *memsim.Core, j *ops.HashJoin) {
 	for off := start; off < total; off += 64 {
 		core.Touch(memsim.Addr(base+off), 64)
 	}
+}
+
+// parallelJoinConfig describes one sharded multi-core hash-join measurement:
+// the probe relation is hash-partitioned across workers and every worker
+// simulates its shard on a private core, concurrently and deterministically
+// (see exec.RunParallel).
+type parallelJoinConfig struct {
+	machine   memsim.Config
+	spec      relation.JoinSpec
+	workers   int
+	tech      ops.Technique
+	window    int
+	earlyExit bool
+}
+
+// parallelJoinResult is the merged outcome of runParallelJoin.
+type parallelJoinResult struct {
+	// perWorker holds each worker's probe-phase counters.
+	perWorker []memsim.Stats
+	// merged has Cycles = max over workers, counters summed.
+	merged memsim.Stats
+	// tuples is the total probe cardinality across all workers.
+	tuples int
+	// outputCount and outputChecksum aggregate the workers' outputs.
+	outputCount    uint64
+	outputChecksum uint64
+}
+
+// aggregateThroughputMTuplesPerSec is the scalability metric of the scaleN
+// experiment: total probe tuples divided by the slowest worker's elapsed
+// time.
+func (r parallelJoinResult) aggregateThroughputMTuplesPerSec(freqHz float64) float64 {
+	if r.merged.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(r.merged.Cycles) / freqHz
+	return float64(r.tuples) / seconds / 1e6
+}
+
+// newParallelJoin generates the relations and hash-partitions them across
+// the workers, tables pre-built raw. Probes never mutate the tables, so one
+// partitioned workload can be reused read-only across techniques.
+func newParallelJoin(spec relation.JoinSpec, workers int) *ops.PartitionedHashJoin {
+	build, probe, err := relation.BuildJoin(spec)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	pj := ops.PartitionJoin(build, probe, workers)
+	pj.PrebuildRaw()
+	return pj
+}
+
+// runParallelJoin generates a fresh partitioned workload and measures it;
+// sweeps that reuse one workload across techniques call newParallelJoin once
+// and runParallelProbe per technique.
+func runParallelJoin(cfg parallelJoinConfig) parallelJoinResult {
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	return runParallelProbe(newParallelJoin(cfg.spec, cfg.workers), cfg)
+}
+
+// runParallelProbe measures the probe phase of a pre-built partitioned
+// workload with every worker running its own engine instance over its
+// partition on a private core. Each worker gets a private System whose L3 is
+// its capacity share of the socket's LLC (Config.ShareLLC) and whose
+// off-chip queue is told that all workers are active, so queue contention
+// scales with the worker count as on the real socket. Tables are
+// cache-warmed per worker, mirroring the single-core probe-only harness
+// (runJoin). When the worker count exceeds the socket's hardware contexts,
+// the merged elapsed cycles are scaled by workers/contexts — ideal
+// round-robin time-slicing of the surplus workers — so oversubscribed rows
+// never report physically impossible concurrency.
+func runParallelProbe(pj *ops.PartitionedHashJoin, cfg parallelJoinConfig) parallelJoinResult {
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if cfg.window <= 0 {
+		cfg.window = ops.DefaultWindow
+	}
+
+	cores := make([]*memsim.Core, cfg.workers)
+	machines := make([]*ops.ProbeMachine, cfg.workers)
+	outs := make([]*ops.Output, cfg.workers)
+	shared := cfg.machine.ShareLLC(cfg.workers)
+	for w := 0; w < cfg.workers; w++ {
+		sys := memsim.MustSystem(shared)
+		cores[w] = sys.NewCore()
+		sys.SetActiveThreads(cfg.workers, cores[w])
+		warmTable(cores[w], pj.Parts[w])
+		cores[w].ResetStats()
+		outs[w] = ops.NewOutput(pj.Parts[w].Arena, false)
+		outs[w].Sequential = true // dense per-worker output partition
+		machines[w] = pj.ProbeMachine(w, outs[w], cfg.earlyExit)
+	}
+
+	ps := exec.RunParallel(cores, func(w int, c *memsim.Core) {
+		ops.RunMachine(c, machines[w], cfg.tech, ops.Params{Window: cfg.window})
+	})
+
+	res := parallelJoinResult{
+		perWorker: ps.PerWorker,
+		merged:    ps.Merged,
+		tuples:    pj.ProbeTuples(),
+	}
+	if hw := cfg.machine.HardwareThreads(); cfg.workers > hw {
+		res.merged.Cycles = res.merged.Cycles * uint64(cfg.workers) / uint64(hw)
+	}
+	for _, out := range outs {
+		res.outputCount += out.Count
+		res.outputChecksum += out.Checksum
+	}
+	return res
 }
 
 // groupByConfig describes one group-by measurement.

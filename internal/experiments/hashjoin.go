@@ -19,6 +19,7 @@ func init() {
 	register(Descriptor{ID: "fig8", Title: "Probe throughput scalability on SPARC T4 (uniform and skewed keys)", Run: fig8})
 	register(Descriptor{ID: "table4", Title: "Probe scalability profiling on Xeon: IPC and L1-D MSHR hits per kilo-instruction", Run: table4})
 	register(Descriptor{ID: "fig12a", Title: "Hash join on SPARC T4: cycles per output tuple under skew", Run: fig12a})
+	register(Descriptor{ID: "scaleN", Title: "Sharded multi-core probe: aggregate throughput and speedup versus worker count (Xeon, partitioned join)", Run: scaleN})
 }
 
 // fig3SkewFactor is the Zipf factor of the motivation experiment's skewed
@@ -222,6 +223,59 @@ func fig7(cfg Config) []*profile.Table {
 func fig8(cfg Config) []*profile.Table {
 	sz := cfg.sizes()
 	return runScalability(cfg, "fig8", "Hash table probe scalability on SPARC T4", memsim.SPARCT4(), sz.t4Threads, sz.joinLarge)
+}
+
+// scaleN measures the sharded multi-core execution layer: the probe relation
+// is hash-partitioned across W workers, each worker runs its own engine
+// instance over its private table on a private core (concurrently, on real
+// goroutines), and the aggregate throughput is total tuples over the slowest
+// worker's time. Unlike fig7/fig8 — which extrapolate from one simulated
+// representative thread — every worker here is simulated in full, so load
+// imbalance across partitions shows up in the merged numbers. Uniform unique
+// build keys keep the first-match output independent of the partition count.
+func scaleN(cfg Config) []*profile.Table {
+	sz := cfg.sizes()
+	n := sz.joinLarge
+	machine := memsim.XeonX5670()
+	counts := cfg.workerCounts()
+	rows := make([]string, len(counts))
+	for i, w := range counts {
+		rows[i] = fmt.Sprintf("%d", w)
+	}
+	tput := profile.New("scaleN", "Partitioned probe: aggregate throughput versus workers (Xeon)", "M tuples/s", rows, techColumns)
+	speed := profile.New("scaleN-speedup", "Partitioned probe: speedup versus one worker (Xeon)", "x", rows, techColumns)
+	tput.AddNote("rows: workers, each simulated on a private core with an LLC capacity share; |R| = |S| = 2^%d, scale %q", log2(n), cfg.scale())
+	tput.AddNote("throughput = total probe tuples / slowest worker's elapsed time")
+	if counts[len(counts)-1] > machine.HardwareThreads() {
+		tput.AddNote("rows beyond the socket's %d hardware threads time-slice the surplus workers (elapsed x W/%d)",
+			machine.HardwareThreads(), machine.HardwareThreads())
+	}
+
+	spec := relation.JoinSpec{BuildSize: n, ProbeSize: n, Seed: cfg.seed()}
+	base := make(map[ops.Technique]float64)
+	for _, w := range counts {
+		// One partitioned workload per worker count, probed read-only by
+		// every technique.
+		pj := newParallelJoin(spec, w)
+		for _, tech := range ops.Techniques {
+			res := runParallelProbe(pj, parallelJoinConfig{
+				machine:   machine,
+				workers:   w,
+				tech:      tech,
+				window:    cfg.window(),
+				earlyExit: true, // unique build keys: first match == only match
+			})
+			th := res.aggregateThroughputMTuplesPerSec(machine.FreqHz)
+			if _, ok := base[tech]; !ok {
+				base[tech] = th
+			}
+			tput.Set(fmt.Sprintf("%d", w), tech.String(), th)
+			if base[tech] > 0 {
+				speed.Set(fmt.Sprintf("%d", w), tech.String(), th/base[tech])
+			}
+		}
+	}
+	return []*profile.Table{tput, speed}
 }
 
 // table4 reproduces Table 4: IPC and MSHR hits per kilo-instruction of the

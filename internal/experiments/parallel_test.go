@@ -1,0 +1,130 @@
+package experiments
+
+// Tests for the sharded multi-core execution layer. They run real goroutines
+// (one per worker), so `go test -race` exercises the layer's no-shared-state
+// guarantee directly.
+
+import (
+	"testing"
+
+	"amac/internal/ops"
+	"amac/internal/relation"
+)
+
+func parallelShapeCfg(workers int, tech ops.Technique, earlyExit bool) parallelJoinConfig {
+	return parallelJoinConfig{
+		machine:   scaledXeon(),
+		spec:      relation.JoinSpec{BuildSize: shapeJoinSize, ProbeSize: shapeJoinSize, Seed: 99},
+		workers:   workers,
+		tech:      tech,
+		window:    10,
+		earlyExit: earlyExit,
+	}
+}
+
+// TestParallelJoinDeterministic: same seed and worker count ⇒ bit-identical
+// merged output and stats, run after run, independent of goroutine
+// scheduling.
+func TestParallelJoinDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel shape tests take a few seconds")
+	}
+	first := runParallelJoin(parallelShapeCfg(4, ops.AMAC, true))
+	for run := 0; run < 2; run++ {
+		again := runParallelJoin(parallelShapeCfg(4, ops.AMAC, true))
+		if again.outputCount != first.outputCount || again.outputChecksum != first.outputChecksum {
+			t.Fatalf("run %d output differs: (%d, %#x) vs (%d, %#x)",
+				run, again.outputCount, again.outputChecksum, first.outputCount, first.outputChecksum)
+		}
+		if again.merged != first.merged {
+			t.Fatalf("run %d merged stats differ:\n  %v\nvs\n  %v", run, again.merged, first.merged)
+		}
+		for w := range first.perWorker {
+			if again.perWorker[w] != first.perWorker[w] {
+				t.Fatalf("run %d worker %d stats differ", run, w)
+			}
+		}
+	}
+}
+
+// TestParallelJoinOutputIndependentOfWorkerCount: the merged join result
+// (match count and order-independent checksum over global row ids) is the
+// same for every worker count and equals the partitioned reference join.
+func TestParallelJoinOutputIndependentOfWorkerCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel shape tests take a few seconds")
+	}
+	// Unique build keys (uniform join): early-exit output is partition-count
+	// invariant.
+	base := runParallelJoin(parallelShapeCfg(1, ops.AMAC, true))
+	if base.outputCount == 0 {
+		t.Fatal("one-worker run produced no output")
+	}
+	for _, workers := range []int{2, 3, 4} {
+		res := runParallelJoin(parallelShapeCfg(workers, ops.AMAC, true))
+		if res.outputCount != base.outputCount || res.outputChecksum != base.outputChecksum {
+			t.Fatalf("workers=%d output (%d, %#x) differs from one-worker (%d, %#x)",
+				workers, res.outputCount, res.outputChecksum, base.outputCount, base.outputChecksum)
+		}
+		if res.tuples != base.tuples {
+			t.Fatalf("workers=%d covers %d tuples, want %d", workers, res.tuples, base.tuples)
+		}
+	}
+	// The same holds across techniques: every engine computes the same join.
+	for _, tech := range ops.Techniques {
+		res := runParallelJoin(parallelShapeCfg(2, tech, true))
+		if res.outputCount != base.outputCount || res.outputChecksum != base.outputChecksum {
+			t.Fatalf("%v output (%d, %#x) differs from AMAC (%d, %#x)",
+				tech, res.outputCount, res.outputChecksum, base.outputCount, base.outputChecksum)
+		}
+	}
+}
+
+// TestParallelJoinMatchesReferenceAllMatches: without early exit the merged
+// output equals the reference join of the unpartitioned workload, for a
+// skewed (duplicate-build-key) join.
+func TestParallelJoinMatchesReferenceAllMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel shape tests take a few seconds")
+	}
+	spec := relation.JoinSpec{BuildSize: 1 << 12, ProbeSize: 1 << 13, ZipfBuild: 0.75, Seed: 21}
+	build, probe, err := relation.BuildJoin(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount, wantSum := ops.NewHashJoin(build, probe).ReferenceJoin()
+	for _, workers := range []int{1, 3, 4} {
+		res := runParallelJoin(parallelJoinConfig{
+			machine: scaledXeon(),
+			spec:    spec,
+			workers: workers,
+			tech:    ops.AMAC,
+			window:  10,
+		})
+		if res.outputCount != wantCount || res.outputChecksum != wantSum {
+			t.Fatalf("workers=%d output (%d, %#x) differs from reference (%d, %#x)",
+				workers, res.outputCount, res.outputChecksum, wantCount, wantSum)
+		}
+	}
+}
+
+// TestShapeParallelThroughputScales: the acceptance shape of the scaleN
+// experiment — AMAC's aggregate throughput on the partitioned join must be
+// monotonically non-decreasing from one to four workers.
+func TestShapeParallelThroughputScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel shape tests take a few seconds")
+	}
+	machine := scaledXeon()
+	at := func(workers int) float64 {
+		cfg := parallelShapeCfg(workers, ops.AMAC, true)
+		return runParallelJoin(cfg).aggregateThroughputMTuplesPerSec(machine.FreqHz)
+	}
+	t1, t2, t4 := at(1), at(2), at(4)
+	if t2 < t1 || t4 < t2 {
+		t.Errorf("AMAC aggregate throughput must not decrease from 1 to 4 workers: 1 -> %.1f, 2 -> %.1f, 4 -> %.1f", t1, t2, t4)
+	}
+	if t4 < 1.5*t1 {
+		t.Errorf("four workers (%.1f Mt/s) should be well above one worker (%.1f Mt/s)", t4, t1)
+	}
+}

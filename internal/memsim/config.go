@@ -170,6 +170,28 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// ShareLLC returns a copy of the configuration whose L3 holds a 1/workers
+// slice of the shared capacity. The parallel execution layer gives every
+// worker a private System (Core, Cache and Fabric are not safe for concurrent
+// use); shrinking each private L3 to its capacity share approximates workers
+// whose partitions compete for one shared LLC. This is a documented first
+// cut: it models capacity sharing but not inter-worker conflict misses or
+// shared-line reuse. The slice is clamped so the cache keeps at least one
+// set, and off-chip queue contention is modelled separately via
+// System.SetActiveThreads.
+func (c Config) ShareLLC(workers int) Config {
+	if workers <= 1 {
+		return c
+	}
+	share := c.L3.SizeBytes / workers
+	min := c.L3.Ways * LineSize
+	if share < min {
+		share = min
+	}
+	c.L3.SizeBytes = share
+	return c
+}
+
 // HardwareThreads returns the total number of hardware contexts on one socket.
 func (c *Config) HardwareThreads() int { return c.Cores * c.SMTPerCore }
 

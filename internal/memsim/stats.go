@@ -92,6 +92,26 @@ func (s *Stats) Add(other Stats) {
 	s.StreamFills += other.StreamFills
 }
 
+// MergeParallel combines the stats of workers that simulated concurrently on
+// private cores: elapsed time is the slowest worker's cycle count (the
+// workers run side by side, so wall-clock time is a max, not a sum), while
+// every event counter — instructions, loads, hits, misses, prefetches — is
+// summed across workers. In the merged result StallCycles (and the other
+// wait-cycle counters) aggregate over all workers and may therefore exceed
+// Cycles.
+func MergeParallel(perWorker []Stats) Stats {
+	var merged Stats
+	for _, w := range perWorker {
+		slowest := merged.Cycles
+		if w.Cycles > slowest {
+			slowest = w.Cycles
+		}
+		merged.Add(w)
+		merged.Cycles = slowest
+	}
+	return merged
+}
+
 // String renders a compact one-line summary, useful in logs and test output.
 func (s Stats) String() string {
 	return fmt.Sprintf("cycles=%d instr=%d ipc=%.2f loads=%d l1=%d l2=%d l3=%d mem=%d mshrHits=%d tlbMiss=%d",

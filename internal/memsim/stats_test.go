@@ -1,0 +1,49 @@
+package memsim
+
+import "testing"
+
+func TestMergeParallel(t *testing.T) {
+	per := []Stats{
+		{Cycles: 100, Instructions: 10, Loads: 3, StallCycles: 40, L1Hits: 2},
+		{Cycles: 250, Instructions: 20, Loads: 5, StallCycles: 90, L1Hits: 1},
+		{Cycles: 50, Instructions: 5, Loads: 1, StallCycles: 10, L1Hits: 7},
+	}
+	m := MergeParallel(per)
+	if m.Cycles != 250 {
+		t.Fatalf("merged Cycles = %d, want the slowest worker's 250", m.Cycles)
+	}
+	if m.Instructions != 35 || m.Loads != 9 || m.L1Hits != 10 {
+		t.Fatalf("event counters must sum: %+v", m)
+	}
+	if m.StallCycles != 140 {
+		t.Fatalf("StallCycles = %d, want aggregate 140", m.StallCycles)
+	}
+}
+
+func TestMergeParallelEmpty(t *testing.T) {
+	if m := MergeParallel(nil); m != (Stats{}) {
+		t.Fatalf("merging no workers should be zero, got %+v", m)
+	}
+}
+
+func TestShareLLC(t *testing.T) {
+	cfg := XeonX5670()
+	quarter := cfg.ShareLLC(4)
+	if quarter.L3.SizeBytes != cfg.L3.SizeBytes/4 {
+		t.Fatalf("ShareLLC(4) = %d bytes, want %d", quarter.L3.SizeBytes, cfg.L3.SizeBytes/4)
+	}
+	if err := quarter.Validate(); err != nil {
+		t.Fatalf("shared config invalid: %v", err)
+	}
+	if got := cfg.ShareLLC(1); got.L3.SizeBytes != cfg.L3.SizeBytes {
+		t.Fatal("ShareLLC(1) must be a no-op")
+	}
+	// A huge worker count must clamp to at least one set, not zero out.
+	tiny := cfg.ShareLLC(1 << 30)
+	if tiny.L3.Sets() < 1 {
+		t.Fatalf("ShareLLC must keep at least one set, got %d", tiny.L3.Sets())
+	}
+	if err := tiny.Validate(); err != nil {
+		t.Fatalf("clamped config invalid: %v", err)
+	}
+}

@@ -38,6 +38,15 @@ type Output struct {
 	Keep bool
 	// Rows holds the emitted rows when Keep is set.
 	Rows []JoinRow
+	// Sequential addresses the charged store window by emit order instead
+	// of row id. A worker of the parallel execution layer materializes its
+	// results densely into its own output partition, so its store traffic
+	// is sequential even though the logical row ids it carries are a
+	// scattered subset of the global input; row-id addressing would defeat
+	// the hardware stream prefetcher on traffic that a real partitioned
+	// operator writes sequentially. Count, Checksum and Rows still use the
+	// row id, so the logical result is unchanged.
+	Sequential bool
 }
 
 // outputBufferSlots is the size of the charged output window. Real runs
@@ -59,6 +68,9 @@ func NewOutput(a *arena.Arena, keep bool) *Output {
 func (o *Output) Emit(c *memsim.Core, rid int, key, buildPayload, probePayload uint64) {
 	c.Instr(CostMaterialize)
 	slot := uint64(rid) % o.slots
+	if o.Sequential {
+		slot = o.Count % o.slots
+	}
 	addr := o.base + arena.Addr(slot*16)
 	c.Store(addr, 16)
 	o.a.WriteU64(addr, key)

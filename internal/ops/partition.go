@@ -1,0 +1,140 @@
+package ops
+
+import (
+	"amac/internal/relation"
+)
+
+// PartitionedHashJoin hash-partitions a join workload into P independent
+// HashJoin sub-workloads, one per worker of the parallel execution layer.
+// Equal keys always land in the same partition, so each worker probes (and,
+// if measured, builds) a table that no other worker ever touches — the
+// cross-core scaling recipe of the paper's evaluation (Section 5.1.1), which
+// sidesteps cross-core latching entirely. Every partition owns a private
+// arena, so concurrent workers never write to shared simulated memory.
+//
+// ProbeRIDs preserves each probe tuple's global row id across the
+// partitioning; wired into ProbeMachine.RIDs it makes the merged output of P
+// workers (match count, order-independent checksum) identical to a
+// one-partition run over the same relations, for any P, because the
+// partitioning only routes (key, rid) pairs and never drops or duplicates
+// them. Under EarlyExit with duplicate build keys the emitted match may
+// still depend on P (chain order inside a partition's table differs from the
+// global table's); all-matches probes and unique-build-key probes are
+// partition-count invariant.
+type PartitionedHashJoin struct {
+	// Parts holds one self-contained workload per partition.
+	Parts []*HashJoin
+	// ProbeRIDs maps each partition's local probe index to the global probe
+	// row id: partition p's lookup i is global row ProbeRIDs[p][i].
+	ProbeRIDs [][]int
+}
+
+// partitionOf routes a key to one of parts partitions. It scrambles the key
+// with the splitmix64 finalizer so that partitioning is independent of the
+// tables' modulo bucket hash — dense keys spread evenly across partitions
+// without aligning partition boundaries with bucket indices.
+func partitionOf(key uint64, parts int) int {
+	return int(mix(key) % uint64(parts))
+}
+
+// PartitionJoin hash-partitions the build and probe relations into parts
+// independent workloads (at least one). Partitioning is a stable filter:
+// tuples keep their relative order within a partition, so per-partition
+// build phases insert in the same relative order as a global build would.
+func PartitionJoin(build, probe *relation.Relation, parts int) *PartitionedHashJoin {
+	if parts < 1 {
+		parts = 1
+	}
+	builds := make([]*relation.Relation, parts)
+	probes := make([]*relation.Relation, parts)
+	rids := make([][]int, parts)
+	for p := 0; p < parts; p++ {
+		builds[p] = &relation.Relation{}
+		probes[p] = &relation.Relation{}
+	}
+	for _, tup := range build.Tuples {
+		p := partitionOf(tup.Key, parts)
+		builds[p].Tuples = append(builds[p].Tuples, tup)
+	}
+	for i, tup := range probe.Tuples {
+		p := partitionOf(tup.Key, parts)
+		probes[p].Tuples = append(probes[p].Tuples, tup)
+		rids[p] = append(rids[p], i)
+	}
+
+	pj := &PartitionedHashJoin{ProbeRIDs: rids}
+	for p := 0; p < parts; p++ {
+		pj.Parts = append(pj.Parts, NewHashJoin(builds[p], probes[p]))
+	}
+	return pj
+}
+
+// NumParts returns the number of partitions.
+func (pj *PartitionedHashJoin) NumParts() int { return len(pj.Parts) }
+
+// ProbeTuples returns the total probe cardinality across partitions.
+func (pj *PartitionedHashJoin) ProbeTuples() int {
+	n := 0
+	for _, j := range pj.Parts {
+		n += j.Probe.Len()
+	}
+	return n
+}
+
+// PrebuildRaw populates every partition's hash table without charging
+// simulator time, for probe-only experiments.
+func (pj *PartitionedHashJoin) PrebuildRaw() {
+	for _, j := range pj.Parts {
+		j.PrebuildRaw()
+	}
+}
+
+// ProbeMachine returns a fresh probe machine for one partition, carrying
+// global row ids and writing to out (which should be private to the worker
+// running this partition).
+func (pj *PartitionedHashJoin) ProbeMachine(part int, out *Output, earlyExit bool) *ProbeMachine {
+	pm := pj.Parts[part].ProbeMachine(out, earlyExit)
+	pm.RIDs = pj.ProbeRIDs[part]
+	return pm
+}
+
+// ReferenceJoin computes the expected match count and order-independent
+// checksum (all matches, global row ids) with plain Go maps. Because the
+// partitioning routes every (rid, tuple) pair to exactly one partition, the
+// result is identical for every partition count, including one.
+func (pj *PartitionedHashJoin) ReferenceJoin() (count uint64, checksum uint64) {
+	for p, j := range pj.Parts {
+		builds := make(map[uint64][]uint64, j.Build.Len())
+		for i := 0; i < j.Build.Len(); i++ {
+			k, pay := j.Build.ReadRaw(i)
+			builds[k] = append(builds[k], pay)
+		}
+		for i := 0; i < j.Probe.Len(); i++ {
+			k, pay := j.Probe.ReadRaw(i)
+			rid := uint64(pj.ProbeRIDs[p][i])
+			for _, bp := range builds[k] {
+				count++
+				checksum += mix(rid) ^ mix(k) ^ mix(bp+1) ^ mix(pay+2)
+			}
+		}
+	}
+	return count, checksum
+}
+
+// ReferenceJoinFirstMatch is ReferenceJoin under early-exit semantics: each
+// probe contributes at most the first match in its partition table's chain
+// order. The tables must already be populated (PrebuildRaw or measured build
+// phases).
+func (pj *PartitionedHashJoin) ReferenceJoinFirstMatch() (count uint64, checksum uint64) {
+	for p, j := range pj.Parts {
+		for i := 0; i < j.Probe.Len(); i++ {
+			k, pay := j.Probe.ReadRaw(i)
+			if matches := j.Table.LookupAllRaw(k); len(matches) > 0 {
+				rid := uint64(pj.ProbeRIDs[p][i])
+				count++
+				checksum += mix(rid) ^ mix(k) ^ mix(matches[0]+1) ^ mix(pay+2)
+			}
+		}
+	}
+	return count, checksum
+}

@@ -33,6 +33,12 @@ type ProbeMachine struct {
 	// all). Multi-thread experiments use it to give the simulated
 	// representative thread its partition of the probe relation.
 	Limit int
+	// RIDs optionally maps local lookup indices to global row ids: when set,
+	// lookup i carries RIDs[i] instead of i through its state. The
+	// partitioned parallel join uses it so that the workers' merged output
+	// (count, checksum, output slots) is identical to an unpartitioned run
+	// over the same relations.
+	RIDs []int
 }
 
 // ProbeState is the paper's per-lookup state (Figure 4): row id, key,
@@ -66,6 +72,9 @@ func (m *ProbeMachine) Init(c *memsim.Core, s *ProbeState, i int) exec.Outcome {
 	c.Instr(CostHash)
 	bucket := m.Table.BucketAddr(m.Table.Hash(key))
 	s.idx = i
+	if m.RIDs != nil {
+		s.idx = m.RIDs[i]
+	}
 	s.key = key
 	s.payload = payload
 	s.ptr = bucket

@@ -49,6 +49,19 @@ func NewHashJoinWithBuckets(build, probe *Relation, buckets int) *HashJoin {
 	return ops.NewHashJoinWithBuckets(build, probe, buckets)
 }
 
+// PartitionedHashJoin is a hash join split into independent per-worker
+// workloads (private arena, table and relations each) so the parallel
+// execution layer's workers never share a table. Probe machines created
+// through it carry global row ids, so the workers' merged output matches an
+// unpartitioned run.
+type PartitionedHashJoin = ops.PartitionedHashJoin
+
+// PartitionJoin hash-partitions the build and probe relations into parts
+// independent workloads; equal keys always land in the same partition.
+func PartitionJoin(build, probe *Relation, parts int) *PartitionedHashJoin {
+	return ops.PartitionJoin(build, probe, parts)
+}
+
 // GroupBy is a group-by workload materialized in a simulated arena.
 type GroupBy = ops.GroupBy
 
@@ -101,4 +114,22 @@ type (
 	SkipListSearchMachine = ops.SkipListSearchMachine
 	// SkipListInsertMachine is the skip list insert operator.
 	SkipListInsertMachine = ops.SkipListInsertMachine
+)
+
+// Per-lookup state types of the built-in machines, exported so the generic
+// entry points (Run, Shard) can be instantiated explicitly, e.g.
+// Shard[ProbeState]{...}.
+type (
+	// ProbeState is ProbeMachine's per-lookup state.
+	ProbeState = ops.ProbeState
+	// BuildState is BuildMachine's per-lookup state.
+	BuildState = ops.BuildState
+	// GroupByState is GroupByMachine's per-lookup state.
+	GroupByState = ops.GroupByState
+	// BSTState is BSTSearchMachine's per-lookup state.
+	BSTState = ops.BSTState
+	// SkipListSearchState is SkipListSearchMachine's per-lookup state.
+	SkipListSearchState = ops.SkipListSearchState
+	// SkipListInsertState is SkipListInsertMachine's per-lookup state.
+	SkipListInsertState = ops.SkipListInsertState
 )
