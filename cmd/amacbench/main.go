@@ -10,11 +10,16 @@
 //	amacbench -exp fig7 -scale tiny     # quick smoke run
 //	amacbench -exp fig6 -window 15      # override the in-flight lookups
 //	amacbench -exp scaleN -workers 8    # sweep the parallel engine up to 8 workers
+//	amacbench -exp serveN               # streaming service: arrival-rate sweep
+//	amacbench -exp serveN -arrivals bursty -qcap 64  # bursty traffic, bounded drop queue
+//	amacbench -exp serveN -json         # machine-readable results, one JSON object per row
 //
 // Results are printed as aligned text tables whose rows and columns mirror
 // the paper's artifacts; EXPERIMENTS.md maps each experiment id to its paper
 // table or figure and records the paper-reported trend to compare the
-// measured values against.
+// measured values against. With -json each table row is emitted as one JSON
+// object on its own line (timing goes to stderr), so runs can be recorded
+// and diffed mechanically.
 package main
 
 import (
@@ -24,16 +29,21 @@ import (
 	"time"
 
 	"amac/internal/experiments"
+	"amac/internal/profile"
+	"amac/internal/serve"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		exp     = flag.String("exp", "", "experiment id to run, or \"all\"")
-		scale   = flag.String("scale", "small", "dataset scale: tiny, small or paper")
-		seed    = flag.Uint64("seed", 42, "workload generation seed")
-		window  = flag.Int("window", 0, "override the number of in-flight lookups (0 = per-experiment default)")
-		workers = flag.Int("workers", 0, "cap the parallel experiments' worker sweep (0 = default sweep 1,2,4,8,16)")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		exp      = flag.String("exp", "", "experiment id to run, or \"all\"")
+		scale    = flag.String("scale", "small", "dataset scale: tiny, small or paper")
+		seed     = flag.Uint64("seed", 42, "workload generation seed")
+		window   = flag.Int("window", 0, "override the number of in-flight lookups (0 = per-experiment default)")
+		workers  = flag.Int("workers", 0, "cap the parallel experiments' worker sweep (0 = default sweep 1,2,4,8,16); serveN worker count")
+		arrivals = flag.String("arrivals", "", "serving arrival process: deterministic, poisson (default) or bursty")
+		qcap     = flag.Int("qcap", 0, "bound the serving admission queue and drop on overflow (0 = unbounded blocking queue)")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON Lines (one object per table row) instead of text tables")
 	)
 	flag.Parse()
 
@@ -53,12 +63,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "amacbench: -workers must be non-negative, got %d\n", *workers)
 		os.Exit(2)
 	}
+	if *qcap < 0 {
+		fmt.Fprintf(os.Stderr, "amacbench: -qcap must be non-negative, got %d\n", *qcap)
+		os.Exit(2)
+	}
+	if _, err := serve.ParseArrivals(*arrivals, 1); err != nil {
+		fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
+		os.Exit(2)
+	}
 	sc, err := experiments.ParseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Scale: sc, Seed: *seed, Window: *window, Workers: *workers}
+	cfg := experiments.Config{
+		Scale: sc, Seed: *seed, Window: *window, Workers: *workers,
+		Arrivals: *arrivals, QueueCap: *qcap,
+	}
 
 	var ids []string
 	if *exp == "all" {
@@ -80,6 +101,14 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if *jsonOut {
+			if err := profile.WriteJSONRows(os.Stdout, id, tables); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", id, time.Since(start).Round(time.Millisecond))
+			continue
 		}
 		for _, t := range tables {
 			t.Render(os.Stdout)

@@ -22,6 +22,10 @@
 //     which schedule user-defined stage Machines,
 //   - the paper's operators and workloads (hash join, group-by, BST search,
 //     skip list search/insert) ready to run under any engine,
+//   - the streaming request-serving layer (arrival processes, QueueSource,
+//     RunStream and the per-technique stream engines, RunService), which
+//     serves the same operators under open-loop load and accounts
+//     per-request latency,
 //   - the experiment harness that regenerates every table and figure of the
 //     paper's evaluation (Experiments, RunExperiment; also exposed through
 //     cmd/amacbench).

@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"testing"
+
+	"amac/internal/core"
+	"amac/internal/exec/exectest"
+)
+
+func TestMergeRunStatsEmpty(t *testing.T) {
+	if m := core.MergeRunStats(nil); m != (core.RunStats{}) {
+		t.Fatalf("merging no workers should be zero, got %+v", m)
+	}
+	if m := core.MergeRunStats([]core.RunStats{}); m != (core.RunStats{}) {
+		t.Fatalf("merging an empty slice should be zero, got %+v", m)
+	}
+}
+
+func TestMergeRunStatsSingleWorker(t *testing.T) {
+	one := core.RunStats{Width: 8, Initiated: 10, Completed: 10, StageVisits: 25, Retries: 2}
+	if m := core.MergeRunStats([]core.RunStats{one}); m != one {
+		t.Fatalf("single-worker merge must be the identity: %+v != %+v", m, one)
+	}
+}
+
+func TestMergeRunStatsZeroLookupWorkers(t *testing.T) {
+	// A worker whose shard is empty still reports its configured width (the
+	// engine returns {Width: w} without touching the machine); merging it
+	// must not disturb the busy workers' counters and must keep the largest
+	// width.
+	idle := core.Run(newCore(), exectest.NewChainMachine(nil, 3), core.Options{Width: 16})
+	if idle.Initiated != 0 || idle.Completed != 0 || idle.StageVisits != 0 || idle.Retries != 0 {
+		t.Fatalf("empty run should have zero counters: %+v", idle)
+	}
+	busy := core.Run(newCore(), exectest.NewChainMachine(uniformLengths(40, 3), 4), core.Options{Width: 10})
+
+	m := core.MergeRunStats([]core.RunStats{idle, busy, idle})
+	if m.Initiated != busy.Initiated || m.Completed != busy.Completed ||
+		m.StageVisits != busy.StageVisits || m.Retries != busy.Retries {
+		t.Fatalf("zero-lookup workers must not change the merged counters: %+v vs %+v", m, busy)
+	}
+	if m.Width != 16 {
+		t.Fatalf("merged width %d, want the largest worker width 16", m.Width)
+	}
+}
+
+func TestMergeRunStatsSumsCounters(t *testing.T) {
+	a := core.RunStats{Width: 4, Initiated: 3, Completed: 3, StageVisits: 7, Retries: 1}
+	b := core.RunStats{Width: 10, Initiated: 5, Completed: 4, StageVisits: 11, Retries: 0}
+	m := core.MergeRunStats([]core.RunStats{a, b})
+	want := core.RunStats{Width: 10, Initiated: 8, Completed: 7, StageVisits: 18, Retries: 1}
+	if m != want {
+		t.Fatalf("merged %+v, want %+v", m, want)
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"amac/internal/exec"
+	"amac/internal/memsim"
+)
+
+// RunStream executes AMAC over a pull-based request stream instead of a
+// fixed lookup batch: every slot of the circular buffer refills from the
+// Source the moment its lookup completes, so under open-loop traffic a
+// freed slot picks up the next queued request immediately — mid-batch, at
+// any point in any other lookup's chain. This is the paper's merged
+// terminal/initial stage optimisation applied to serving: where the GP and
+// SPP stream adapters (package exec) admit work only at group boundaries or
+// static refill points and so let the admission queue grow while in-flight
+// work drains, AMAC's admission granularity is a single slot visit. The
+// difference is measurable as tail latency in the serveN experiment.
+//
+// The engine idles (Core.AdvanceTo) only when no request is admitted AND no
+// lookup is in flight; a source that reports Wait while other slots hold
+// work simply leaves the slot empty until the rolling counter returns to it
+// after the source's reported next arrival.
+//
+// Completions are reported to the source at the cycle the Done outcome is
+// observed, which is when the response could be sent.
+func RunStream[S any](c *memsim.Core, src exec.Source[S], opts Options) RunStats {
+	width := opts.Width
+	if width <= 0 {
+		width = DefaultWidth
+	}
+
+	var stats RunStats
+	stats.Width = width
+
+	type streamSlot struct {
+		busy    bool
+		stage   int
+		req     exec.Request
+		retries uint64
+	}
+
+	states := make([]S, width)
+	slots := make([]streamSlot, width)
+	live := 0
+	exhausted := false
+	waitUntil := uint64(0) // no arrivals before this cycle; skip re-polling
+
+	// tryFill pulls the next admitted request into empty slot k; it returns
+	// true if the slot now holds an in-flight lookup.
+	tryFill := func(k int) bool {
+		if exhausted || c.Cycle() < waitUntil {
+			return false
+		}
+		c.Instr(CostStateSwap)
+		pr := src.Pull(c, &states[k], c.Cycle())
+		switch pr.Status {
+		case exec.Exhausted:
+			exhausted = true
+		case exec.Wait:
+			waitUntil = pr.NextArrival
+			if waitUntil <= c.Cycle() {
+				waitUntil = c.Cycle() + 1
+			}
+		case exec.Pulled:
+			stats.Initiated++
+			issue(c, pr.Out)
+			if pr.Out.Done {
+				stats.Completed++
+				src.Complete(pr.Req, c.Cycle())
+				return false
+			}
+			slots[k] = streamSlot{busy: true, stage: pr.Out.NextStage, req: pr.Req}
+			live++
+			return true
+		}
+		return false
+	}
+
+	k := 0
+	for {
+		if k == width {
+			k = 0
+		}
+		s := &slots[k]
+		if !s.busy {
+			if !tryFill(k) && live == 0 {
+				if exhausted {
+					return stats
+				}
+				// Nothing in flight and nothing admitted: sleep until the
+				// next arrival, then retry the same slot.
+				c.AdvanceTo(waitUntil)
+				continue
+			}
+			k++
+			continue
+		}
+
+		c.Instr(CostStateSwap)
+		out := src.Stage(c, &states[k], s.stage)
+		stats.StageVisits++
+		if out.Retry {
+			s.stage = out.NextStage
+			s.retries++
+			stats.Retries++
+			k++
+			continue
+		}
+		if !out.Done {
+			issue(c, out)
+			s.stage = out.NextStage
+			k++
+			continue
+		}
+
+		// The lookup completed: report it and refill the slot right away so
+		// an in-flight memory access is never wasted (unless the ablation
+		// disabled immediate refill).
+		stats.Completed++
+		live--
+		src.Complete(s.req, c.Cycle())
+		*s = streamSlot{}
+		if !opts.DisableImmediateRefill {
+			tryFill(k)
+		}
+		k++
+	}
+}

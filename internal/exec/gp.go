@@ -76,14 +76,16 @@ func GroupPrefetch[S any](c *memsim.Core, m Machine[S], group int) {
 		// Clean-up pass: lookups whose chains are longer than provisioned
 		// (or that are still blocked on a latch) are completed without the
 		// benefit of prefetching before the next group may start.
-		finishSequential(c, m, states[:g], current[:g], done[:g])
+		finishSequential(c, m.Stage, states[:g], current[:g], done[:g], nil)
 	}
 }
 
 // finishSequential completes every unfinished lookup without prefetching.
 // Lookups are serviced round-robin so that a lookup blocked on a latch held
 // by another unfinished lookup of the same batch cannot deadlock the pass.
-func finishSequential[S any](c *memsim.Core, m Machine[S], states []S, current []Outcome, done []bool) {
+// onDone, if non-nil, observes each completion (the streaming GP adapter
+// records per-request latency there); stage is the machine's Stage method.
+func finishSequential[S any](c *memsim.Core, stage func(*memsim.Core, *S, int) Outcome, states []S, current []Outcome, done []bool, onDone func(j int)) {
 	remaining := 0
 	for j := range done {
 		if !done[j] {
@@ -99,7 +101,7 @@ func finishSequential[S any](c *memsim.Core, m Machine[S], states []S, current [
 				continue
 			}
 			c.Instr(CostLoopIter)
-			out := m.Stage(c, &states[j], current[j].NextStage)
+			out := stage(c, &states[j], current[j].NextStage)
 			if out.Retry {
 				c.Instr(CostRetrySpin)
 				current[j].NextStage = out.NextStage
@@ -110,6 +112,9 @@ func finishSequential[S any](c *memsim.Core, m Machine[S], states []S, current [
 			if out.Done {
 				done[j] = true
 				remaining--
+				if onDone != nil {
+					onDone(j)
+				}
 			}
 		}
 		if progressed {

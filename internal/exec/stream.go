@@ -1,0 +1,297 @@
+package exec
+
+import (
+	"fmt"
+
+	"amac/internal/memsim"
+)
+
+// This file adapts the three batch engines to queue-fed streaming execution
+// over a Source. The adapters keep each technique's defining restriction on
+// WHEN a freed slot may accept new work, because that restriction is exactly
+// what the paper's flexibility argument is about:
+//
+//   - BaselineStream serves one request at a time, start to finish;
+//   - GroupPrefetchStream admits requests only at group boundaries: a group
+//     runs to full completion (including its sequential clean-up pass) before
+//     the queue is consulted again, so requests arriving mid-group wait out
+//     the whole batch;
+//   - SoftwarePipelineStream refills a pipeline slot only at its static
+//     refill point (after the provisioned number of stages), even when the
+//     slot's lookup finished early.
+//
+// AMAC's streaming engine (core.RunStream) refills any slot the moment its
+// lookup completes, which is why it holds tail latency flat at arrival rates
+// where the batch-boundary engines' queues grow. Completions are always
+// reported at the cycle the engine observes Outcome.Done — the response
+// could be sent then — so the adapters differ only in admission, never in
+// completion accounting.
+
+// waitCycle returns the cycle an engine may idle until after a Wait pull,
+// guarding against a source that reports a non-future arrival.
+func waitCycle(now, next uint64) uint64 {
+	if next <= now {
+		return now + 1
+	}
+	return next
+}
+
+// BaselineStream serves requests one at a time with no software prefetching:
+// the streaming analogue of Baseline. With a single request in flight, a
+// Retry can only be left over from a previous phase, so the spin is bounded
+// defensively exactly as in the batch engine.
+func BaselineStream[S any](c *memsim.Core, src Source[S]) {
+	var s S
+	for {
+		c.Instr(CostLoopIter)
+		pr := src.Pull(c, &s, c.Cycle())
+		switch pr.Status {
+		case Exhausted:
+			return
+		case Wait:
+			c.AdvanceTo(waitCycle(c.Cycle(), pr.NextArrival))
+			continue
+		}
+		out := pr.Out
+		spins := 0
+		for !out.Done {
+			c.Instr(CostLoopIter)
+			next := src.Stage(c, &s, out.NextStage)
+			if next.Retry {
+				spins++
+				c.Instr(CostRetrySpin)
+				if spins > retryLimit {
+					panic(fmt.Sprintf("exec: baseline stream request %d spun on a latch %d times; machine is stuck", pr.Req.Index, spins))
+				}
+				out.NextStage = next.NextStage
+				continue
+			}
+			spins = 0
+			out = next
+		}
+		src.Complete(pr.Req, c.Cycle())
+	}
+}
+
+// GroupPrefetchStream serves requests under Group Prefetching semantics: up
+// to group requests are admitted from the source, the whole group is run to
+// completion (every code stage for every member, then the sequential
+// clean-up pass), and only then is the queue consulted for the next group.
+// If at least one request is admitted the group starts immediately — GP does
+// not hold a partial group open waiting for stragglers — but requests that
+// arrive after the group launched wait for the entire batch to drain, which
+// is the batch-boundary refill penalty the serving experiments measure.
+func GroupPrefetchStream[S any](c *memsim.Core, src Source[S], group int) {
+	if group < 1 {
+		group = 1
+	}
+	depth := src.ProvisionedStages()
+	if depth < 1 {
+		depth = 1
+	}
+
+	states := make([]S, group)
+	current := make([]Outcome, group)
+	done := make([]bool, group)
+	reqs := make([]Request, group)
+
+	for {
+		// Admission: gather the group from whatever the queue holds now.
+		g := 0
+		for g < group {
+			c.Instr(CostGPStage)
+			pr := src.Pull(c, &states[g], c.Cycle())
+			if pr.Status == Exhausted {
+				if g == 0 {
+					return
+				}
+				break
+			}
+			if pr.Status == Wait {
+				if g > 0 {
+					break // launch the partial group; GP never waits mid-batch
+				}
+				c.AdvanceTo(waitCycle(c.Cycle(), pr.NextArrival))
+				continue
+			}
+			issuePrefetch(c, pr.Out)
+			current[g] = pr.Out
+			done[g] = pr.Out.Done
+			reqs[g] = pr.Req
+			if pr.Out.Done {
+				src.Complete(pr.Req, c.Cycle())
+			}
+			g++
+		}
+
+		// Code stages 1..depth-1, each executed for the whole group.
+		for round := 1; round < depth; round++ {
+			for j := 0; j < g; j++ {
+				if done[j] {
+					c.Instr(CostGPSkip)
+					continue
+				}
+				c.Instr(CostGPStage)
+				out := src.Stage(c, &states[j], current[j].NextStage)
+				if out.Retry {
+					current[j].NextStage = out.NextStage
+					current[j].Prefetch = 0
+					continue
+				}
+				issuePrefetch(c, out)
+				current[j] = out
+				if out.Done {
+					done[j] = true
+					src.Complete(reqs[j], c.Cycle())
+				}
+			}
+		}
+
+		// Clean-up pass: the next group may only start once every member of
+		// this one has fully finished.
+		finishSequential(c, src.Stage, states[:g], current[:g], done[:g], func(j int) {
+			src.Complete(reqs[j], c.Cycle())
+		})
+	}
+}
+
+// SoftwarePipelineStream serves requests under Software-Pipelined
+// Prefetching semantics: inflight pipeline slots advance one code stage per
+// outer iteration, and a slot accepts a new request only at its static
+// refill point — after the provisioned number of stages has elapsed —
+// regardless of whether its lookup actually finished earlier. Requests
+// longer than the provisioned depth are bailed out and completed on the
+// sequential side path, as in the batch engine.
+func SoftwarePipelineStream[S any](c *memsim.Core, src Source[S], inflight int) {
+	if inflight < 1 {
+		inflight = 1
+	}
+	depth := src.ProvisionedStages()
+	if depth < 1 {
+		depth = 1
+	}
+
+	type slotState struct {
+		busy    bool // a request occupies the slot (it may already be done)
+		done    bool // the occupying request finished early
+		age     int  // code stages elapsed since the request entered
+		current Outcome
+		req     Request
+	}
+
+	states := make([]S, inflight)
+	slots := make([]slotState, inflight)
+
+	var bailStates []S
+	var bailCurrent []Outcome
+	var bailReqs []Request
+
+	exhausted := false
+	waitUntil := uint64(0) // no arrivals before this cycle; skip re-polling
+	occupied := 0          // slots holding a request (done or not)
+	pending := 0           // bailed-out requests not yet finished
+
+	for {
+		if exhausted && occupied == 0 && pending == 0 {
+			return
+		}
+		if occupied == 0 && pending == 0 && waitUntil > c.Cycle() {
+			// Nothing in flight, nothing admitted, and a pull already
+			// reported Wait: idle to the arrival. (Never idle before the
+			// first pull attempt — requests may be ready at cycle 0.)
+			c.AdvanceTo(waitUntil)
+		}
+		for j := 0; j < inflight; j++ {
+			slot := &slots[j]
+			switch {
+			case !slot.busy:
+				if exhausted || c.Cycle() < waitUntil {
+					continue
+				}
+				c.Instr(CostSPPStage)
+				pr := src.Pull(c, &states[j], c.Cycle())
+				if pr.Status == Exhausted {
+					exhausted = true
+					continue
+				}
+				if pr.Status == Wait {
+					waitUntil = waitCycle(c.Cycle(), pr.NextArrival)
+					continue
+				}
+				issuePrefetch(c, pr.Out)
+				slot.busy = true
+				slot.done = pr.Out.Done
+				slot.age = 1
+				slot.current = pr.Out
+				slot.req = pr.Req
+				occupied++
+				if pr.Out.Done {
+					src.Complete(pr.Req, c.Cycle())
+				}
+			case slot.done:
+				// The request finished before its static slot expired: the
+				// pipeline still spends an iteration checking it.
+				c.Instr(CostSPPSkip)
+				slot.age++
+				if slot.age >= depth {
+					slot.busy = false
+					occupied--
+				}
+			default:
+				c.Instr(CostSPPStage)
+				out := src.Stage(c, &states[j], slot.current.NextStage)
+				slot.age++
+				if out.Retry {
+					slot.current.NextStage = out.NextStage
+					slot.current.Prefetch = 0
+				} else {
+					issuePrefetch(c, out)
+					slot.current = out
+					if out.Done {
+						slot.done = true
+						src.Complete(slot.req, c.Cycle())
+					}
+				}
+				if slot.age >= depth {
+					if !slot.done {
+						// Longer than provisioned: bail out of the pipeline.
+						c.Instr(CostBailout)
+						bailStates = append(bailStates, states[j])
+						bailCurrent = append(bailCurrent, slot.current)
+						bailReqs = append(bailReqs, slot.req)
+						pending++
+					}
+					slot.busy = false
+					occupied--
+				}
+			}
+		}
+
+		// Advance every bailed-out request by one (unprefetched) stage.
+		keep := 0
+		for b := 0; b < len(bailStates); b++ {
+			c.Instr(CostLoopIter)
+			out := src.Stage(c, &bailStates[b], bailCurrent[b].NextStage)
+			switch {
+			case out.Retry:
+				c.Instr(CostRetrySpin)
+				bailCurrent[b].NextStage = out.NextStage
+			case out.Done:
+				src.Complete(bailReqs[b], c.Cycle())
+				pending--
+				continue
+			default:
+				bailCurrent[b] = out
+			}
+			bailStates[keep] = bailStates[b]
+			bailCurrent[keep] = bailCurrent[b]
+			bailReqs[keep] = bailReqs[b]
+			keep++
+		}
+		bailStates = bailStates[:keep]
+		bailCurrent = bailCurrent[:keep]
+		bailReqs = bailReqs[:keep]
+
+		c.Instr(CostLoopIter)
+	}
+}

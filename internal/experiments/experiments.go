@@ -51,8 +51,16 @@ type Config struct {
 	Window int
 	// Workers caps the worker sweep of the parallel scalability experiments
 	// (scaleN): zero keeps the default sweep {1, 2, 4, 8, 16}; a positive
-	// value sweeps the powers of two up to it, plus the value itself.
+	// value sweeps the powers of two up to it, plus the value itself. The
+	// serving experiment (serveN) uses it as the worker count (zero = 1).
 	Workers int
+	// Arrivals selects the serving experiments' traffic shape:
+	// "deterministic", "poisson" (the default for empty) or "bursty".
+	Arrivals string
+	// QueueCap bounds the serving experiments' per-worker admission queue
+	// and switches it to the drop policy; zero keeps an unbounded blocking
+	// queue.
+	QueueCap int
 }
 
 func (c Config) scale() Scale {

@@ -222,6 +222,20 @@ func (c *Core) advance(cycles uint64) {
 	c.stats.StallCycles += cycles
 }
 
+// AdvanceTo moves the clock forward to the given cycle without charging any
+// work: the core is idle because an open-loop request source has nothing
+// admitted yet (the streaming engines call it to sleep until the next
+// arrival). Idle time is recorded separately from memory stalls so serving
+// runs can distinguish "waiting on DRAM" from "waiting on traffic". A target
+// in the past is a no-op.
+func (c *Core) AdvanceTo(target uint64) {
+	if target <= c.cycle {
+		return
+	}
+	c.stats.IdleCycles += target - c.cycle
+	c.cycle = target
+}
+
 // fill installs a line into the private hierarchy and the shared L3.
 func (c *Core) fill(line uint64) {
 	c.l1.Insert(line)

@@ -8,6 +8,7 @@ type Stats struct {
 	Cycles       uint64 // total simulated cycles
 	Instructions uint64 // abstract instructions retired
 	StallCycles  uint64 // cycles spent waiting on memory (subset of Cycles)
+	IdleCycles   uint64 // cycles spent waiting for requests to arrive (subset of Cycles)
 
 	Loads      uint64
 	Stores     uint64
@@ -74,6 +75,7 @@ func (s *Stats) Add(other Stats) {
 	s.Cycles += other.Cycles
 	s.Instructions += other.Instructions
 	s.StallCycles += other.StallCycles
+	s.IdleCycles += other.IdleCycles
 	s.Loads += other.Loads
 	s.Stores += other.Stores
 	s.Prefetches += other.Prefetches

@@ -24,6 +24,40 @@ func TestMergeParallelEmpty(t *testing.T) {
 	if m := MergeParallel(nil); m != (Stats{}) {
 		t.Fatalf("merging no workers should be zero, got %+v", m)
 	}
+	if m := MergeParallel([]Stats{}); m != (Stats{}) {
+		t.Fatalf("merging an empty slice should be zero, got %+v", m)
+	}
+}
+
+func TestMergeParallelSingleWorker(t *testing.T) {
+	one := Stats{Cycles: 77, Instructions: 11, StallCycles: 30, IdleCycles: 5, Loads: 4, L1Hits: 3, MemAccesses: 1}
+	if m := MergeParallel([]Stats{one}); m != one {
+		t.Fatalf("single-worker merge must be the identity: %+v != %+v", m, one)
+	}
+}
+
+func TestMergeParallelZeroLookupWorkers(t *testing.T) {
+	// Workers whose shards were empty finished instantly with all-zero
+	// counters; merging them must not disturb the busy workers' numbers,
+	// and the elapsed cycles stay the slowest busy worker's.
+	busy := Stats{Cycles: 500, Instructions: 40, Loads: 9, StallCycles: 120}
+	m := MergeParallel([]Stats{{}, busy, {}, {}})
+	if m != busy {
+		t.Fatalf("zero-lookup workers must merge as no-ops: %+v vs %+v", m, busy)
+	}
+	// All-idle degenerate case: everything zero.
+	if m := MergeParallel([]Stats{{}, {}}); m != (Stats{}) {
+		t.Fatalf("all-zero workers should merge to zero, got %+v", m)
+	}
+}
+
+func TestMergeParallelSumsIdleCycles(t *testing.T) {
+	// IdleCycles (request-wait time of the serving layer) aggregates like
+	// the other wait counters: summed across workers, not maxed.
+	m := MergeParallel([]Stats{{Cycles: 10, IdleCycles: 4}, {Cycles: 30, IdleCycles: 7}})
+	if m.IdleCycles != 11 || m.Cycles != 30 {
+		t.Fatalf("merged idle=%d cycles=%d, want 11/30", m.IdleCycles, m.Cycles)
+	}
 }
 
 func TestShareLLC(t *testing.T) {

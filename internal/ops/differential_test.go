@@ -1,0 +1,190 @@
+package ops_test
+
+import (
+	"sort"
+	"testing"
+
+	"amac/internal/ops"
+	"amac/internal/relation"
+)
+
+// This file is the differential suite: for every built-in machine the three
+// prefetching techniques must produce bit-identical logical output — result
+// count and order-independent checksum — to the Baseline engine run on the
+// same workload. The reference-based tests elsewhere check correctness;
+// this one checks equivalence, so a bug that breaks all four engines the
+// same way in the reference direction still cannot hide a divergence
+// between them.
+
+// fnvMix folds a value into an order-independent digest (commutative sum of
+// avalanched terms, same construction as ops.Output's checksum).
+func fnvMix(h *uint64, vs ...uint64) {
+	var term uint64 = 1469598103934665603
+	for _, v := range vs {
+		v ^= v >> 30
+		v *= 0xbf58476d1ce4e5b9
+		v ^= v >> 27
+		term = (term ^ v) * 1099511628211
+	}
+	*h += term
+}
+
+// outputDigest summarises an Output as (count, checksum).
+func outputDigest(out *ops.Output) (uint64, uint64) { return out.Count, out.Checksum }
+
+func TestDifferentialProbeMatchesBaseline(t *testing.T) {
+	for _, earlyExit := range []bool{false, true} {
+		spec := relation.JoinSpec{BuildSize: 1 << 12, ProbeSize: 1 << 12, ZipfBuild: 0.75, Seed: 31}
+		runOne := func(tech ops.Technique) (uint64, uint64) {
+			j := buildJoin(t, spec)
+			j.PrebuildRaw()
+			out := ops.NewOutput(j.Arena, false)
+			ops.RunMachine(newCore(), j.ProbeMachine(out, earlyExit), tech, ops.Params{Window: 10})
+			return outputDigest(out)
+		}
+		baseCount, baseSum := runOne(ops.Baseline)
+		for _, tech := range ops.PrefetchingTechniques {
+			count, sum := runOne(tech)
+			if count != baseCount || sum != baseSum {
+				t.Errorf("probe earlyExit=%v %s: count=%d sum=%x, baseline count=%d sum=%x",
+					earlyExit, tech, count, sum, baseCount, baseSum)
+			}
+		}
+	}
+}
+
+func TestDifferentialGroupByMatchesBaseline(t *testing.T) {
+	rel, err := relation.BuildGroupBy(relation.GroupBySpec{Size: 6000, Repeats: 3, Zipf: 0.75, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOne := func(tech ops.Technique) (uint64, uint64) {
+		g := ops.NewGroupBy(rel, rel.Len()/3)
+		ops.RunMachine(newCore(), g.Machine(), tech, ops.Params{Window: 10})
+		groups := g.Table.Groups()
+		var sum uint64
+		for _, agg := range groups {
+			fnvMix(&sum, agg.Key, agg.Count, agg.Sum, agg.SumSq, agg.Min, agg.Max)
+		}
+		return uint64(len(groups)), sum
+	}
+	baseCount, baseSum := runOne(ops.Baseline)
+	for _, tech := range ops.PrefetchingTechniques {
+		count, sum := runOne(tech)
+		if count != baseCount || sum != baseSum {
+			t.Errorf("group-by %s: groups=%d sum=%x, baseline groups=%d sum=%x",
+				tech, count, sum, baseCount, baseSum)
+		}
+	}
+}
+
+func TestDifferentialBSTSearchMatchesBaseline(t *testing.T) {
+	build, probe, err := relation.BuildIndexWorkload(1<<12, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ops.NewBSTWorkload(build, probe)
+	runOne := func(tech ops.Technique) (uint64, uint64) {
+		out := ops.NewOutput(w.Arena, false)
+		ops.RunMachine(newCore(), w.SearchMachine(out), tech, ops.Params{Window: 10})
+		return outputDigest(out)
+	}
+	baseCount, baseSum := runOne(ops.Baseline)
+	for _, tech := range ops.PrefetchingTechniques {
+		count, sum := runOne(tech)
+		if count != baseCount || sum != baseSum {
+			t.Errorf("BST search %s: count=%d sum=%x, baseline count=%d sum=%x",
+				tech, count, sum, baseCount, baseSum)
+		}
+	}
+}
+
+func TestDifferentialSkipListSearchMatchesBaseline(t *testing.T) {
+	build, probe, err := relation.BuildIndexWorkload(1<<11, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ops.NewSkipListWorkload(build, probe)
+	w.PrebuildRaw(4)
+	runOne := func(tech ops.Technique) (uint64, uint64) {
+		out := ops.NewOutput(w.Arena, false)
+		ops.RunMachine(newCore(), w.SearchMachine(out), tech, ops.Params{Window: 10})
+		return outputDigest(out)
+	}
+	baseCount, baseSum := runOne(ops.Baseline)
+	for _, tech := range ops.PrefetchingTechniques {
+		count, sum := runOne(tech)
+		if count != baseCount || sum != baseSum {
+			t.Errorf("skip list search %s: count=%d sum=%x, baseline count=%d sum=%x",
+				tech, count, sum, baseCount, baseSum)
+		}
+	}
+}
+
+func TestDifferentialSkipListInsertMatchesBaseline(t *testing.T) {
+	build, _, err := relation.BuildIndexWorkload(1<<11, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOne := func(tech ops.Technique) (uint64, uint64) {
+		// The same tower-height seed gives every technique an identical
+		// logical list to build; only scheduling differs.
+		w := ops.NewSkipListWorkload(build, build)
+		m := w.InsertMachine(77)
+		ops.RunMachine(newCore(), m, tech, ops.Params{Window: 10})
+		keys := w.List.Keys()
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		var sum uint64
+		for _, k := range keys {
+			p, ok := w.List.SearchRaw(k)
+			if !ok {
+				t.Fatalf("%s: inserted key %d not found", tech, k)
+			}
+			fnvMix(&sum, k, p)
+		}
+		return uint64(m.Inserted), sum
+	}
+	baseCount, baseSum := runOne(ops.Baseline)
+	for _, tech := range ops.PrefetchingTechniques {
+		count, sum := runOne(tech)
+		if count != baseCount || sum != baseSum {
+			t.Errorf("skip list insert %s: inserted=%d sum=%x, baseline inserted=%d sum=%x",
+				tech, count, sum, baseCount, baseSum)
+		}
+	}
+}
+
+// TestDifferentialBuildMatchesBaseline extends the suite to the hash build
+// machine: the table contents after a build phase must be identical across
+// engines (same keys, same payload multisets, same tuple count).
+func TestDifferentialBuildMatchesBaseline(t *testing.T) {
+	spec := relation.JoinSpec{BuildSize: 1 << 12, ProbeSize: 1 << 10, ZipfBuild: 0.5, Seed: 41}
+	runOne := func(tech ops.Technique) (uint64, uint64) {
+		build, probe, err := relation.BuildJoin(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := ops.NewHashJoin(build, probe)
+		ops.RunMachine(newCore(), j.BuildMachine(), tech, ops.Params{Window: 10})
+		var sum uint64
+		seen := make(map[uint64]bool)
+		for _, tup := range build.Tuples {
+			if seen[tup.Key] {
+				continue
+			}
+			seen[tup.Key] = true
+			for _, p := range j.Table.LookupAllRaw(tup.Key) {
+				fnvMix(&sum, tup.Key, p)
+			}
+		}
+		return j.Table.ComputeStats().Tuples, sum
+	}
+	baseCount, baseSum := runOne(ops.Baseline)
+	for _, tech := range ops.PrefetchingTechniques {
+		count, sum := runOne(tech)
+		if count != baseCount || sum != baseSum {
+			t.Errorf("build %s: tuples=%d sum=%x, baseline tuples=%d sum=%x",
+				tech, count, sum, baseCount, baseSum)
+		}
+	}
+}

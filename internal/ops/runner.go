@@ -76,7 +76,8 @@ func (p Params) window() int {
 }
 
 // RunMachine executes every lookup of machine m on core c using the given
-// technique.
+// technique. It runs the machine as a fixed batch; serve.RunSource is the
+// streaming counterpart that draws the same machines from a request queue.
 func RunMachine[S any](c *memsim.Core, m exec.Machine[S], tech Technique, p Params) {
 	switch tech {
 	case Baseline:

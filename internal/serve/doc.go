@@ -1,0 +1,24 @@
+// Package serve is the streaming request-serving layer: it turns the
+// repository's batch operators into a simulated service under open-loop
+// load, which is the system shape the paper's flexibility argument is
+// really about. A load generator emits requests at simulated-cycle arrival
+// times (deterministic, Poisson or bursty on/off); a bounded admission
+// queue absorbs them under a drop or block policy; a streaming engine —
+// queue-fed AMAC (core.RunStream) or the batch-boundary GP/SPP/Baseline
+// adapters (package exec) — pulls requests out and runs them as stage
+// machines; and a latency recorder histograms every request's
+// admission→completion cycles into p50/p95/p99/max, throughput and queue
+// depth.
+//
+// The point of the layer is that the four techniques differ in WHEN a freed
+// execution slot may admit the next request: AMAC refills per slot the
+// moment a lookup completes, GP only at group boundaries, SPP only at
+// static pipeline refill points, the baseline one request at a time. Under
+// batch execution that difference is a few percent of cycles; under
+// open-loop arrivals near saturation it is the difference between a flat
+// p99 and an admission queue that grows without bound.
+//
+// Service runs a sharded multi-worker instance of the whole arrangement on
+// exec.RunParallel: every worker owns a private core, machine, queue and
+// recorder, so the simulation stays deterministic under -race.
+package serve

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"fmt"
+
+	"amac/internal/core"
+	"amac/internal/exec"
+	"amac/internal/memsim"
+	"amac/internal/ops"
+)
+
+// RunSource drives one streaming engine over one source on one core: the
+// streaming counterpart of ops.RunMachine. AMAC returns its scheduler
+// stats; the other engines report everything through the source's recorder.
+func RunSource[S any](c *memsim.Core, src exec.Source[S], tech ops.Technique, p ops.Params) core.RunStats {
+	window := p.Window
+	if window <= 0 {
+		window = ops.DefaultWindow
+	}
+	switch tech {
+	case ops.Baseline:
+		exec.BaselineStream(c, src)
+	case ops.GP:
+		exec.GroupPrefetchStream(c, src, window)
+	case ops.SPP:
+		exec.SoftwarePipelineStream(c, src, window)
+	case ops.AMAC:
+		return core.RunStream(c, src, core.Options{Width: window})
+	default:
+		panic(fmt.Sprintf("serve: unknown technique %d", int(tech)))
+	}
+	return core.RunStats{}
+}
+
+// Worker describes one worker of a sharded streaming service: the operator
+// machine serving its partition of the data and the arrival schedule of the
+// requests routed to it. Lookup i of the machine is request i of the
+// schedule.
+type Worker[S any] struct {
+	Machine  exec.Machine[S]
+	Arrivals []uint64
+}
+
+// Options configures a service run.
+type Options struct {
+	// Hardware is the socket model; every worker gets a private System whose
+	// L3 is its capacity share (Config.ShareLLC) and whose off-chip queue is
+	// told all workers are active, as in the batch parallel layer.
+	Hardware memsim.Config
+	// Technique selects the streaming engine.
+	Technique ops.Technique
+	// Window is the number of in-flight lookups (zero = ops.DefaultWindow).
+	Window int
+	// QueueCap bounds each worker's admission queue (zero = unbounded).
+	QueueCap int
+	// Policy says what a full queue does with new arrivals.
+	Policy Policy
+	// Prepare, if non-nil, runs on every worker's core before measurement
+	// (cache warming); the core's stats are reset afterwards.
+	Prepare func(worker int, c *memsim.Core)
+}
+
+// WorkerResult is one worker's outcome.
+type WorkerResult struct {
+	Stats   memsim.Stats
+	Latency *Recorder
+	// Sched holds AMAC's scheduler counters (zero for other techniques).
+	Sched core.RunStats
+}
+
+// Result is the merged outcome of a service run.
+type Result struct {
+	PerWorker []WorkerResult
+	// Stats merges the workers' core counters: Cycles is the slowest
+	// worker's elapsed count, everything else sums.
+	Stats memsim.Stats
+	// Latency merges every worker's recorder.
+	Latency Recorder
+	// Sched merges the AMAC scheduler stats.
+	Sched core.RunStats
+}
+
+// ElapsedCycles is the simulated wall-clock of the service phase.
+func (r Result) ElapsedCycles() uint64 { return r.Stats.Cycles }
+
+// ThroughputPerCycle is aggregate completed requests per cycle.
+func (r Result) ThroughputPerCycle() float64 {
+	return r.Latency.ThroughputPerCycle(r.ElapsedCycles())
+}
+
+// Run executes the sharded streaming service: every worker serves its own
+// machine from its own queue-fed source on a private core, concurrently on
+// real goroutines (exec.RunParallel), and the per-worker stats and latency
+// recorders are merged. Deterministic for a fixed configuration regardless
+// of the goroutine schedule, because workers share nothing mutable.
+func Run[S any](opts Options, workers []Worker[S]) Result {
+	n := len(workers)
+	if n == 0 {
+		return Result{}
+	}
+
+	cores := make([]*memsim.Core, n)
+	sources := make([]*QueueSource[S], n)
+	shared := opts.Hardware.ShareLLC(n)
+	for w := 0; w < n; w++ {
+		sys := memsim.MustSystem(shared)
+		cores[w] = sys.NewCore()
+		sys.SetActiveThreads(n, cores[w])
+		if opts.Prepare != nil {
+			opts.Prepare(w, cores[w])
+		}
+		cores[w].ResetStats()
+		sources[w] = NewQueueSource(workers[w].Machine, workers[w].Arrivals, opts.QueueCap, opts.Policy, nil)
+	}
+
+	sched := make([]core.RunStats, n)
+	ps := exec.RunParallel(cores, func(w int, c *memsim.Core) {
+		sched[w] = RunSource(c, sources[w], opts.Technique, ops.Params{Window: opts.Window})
+	})
+
+	res := Result{Stats: ps.Merged, Sched: core.MergeRunStats(sched)}
+	for w := 0; w < n; w++ {
+		res.PerWorker = append(res.PerWorker, WorkerResult{
+			Stats:   ps.PerWorker[w],
+			Latency: sources[w].Recorder(),
+			Sched:   sched[w],
+		})
+		res.Latency.Merge(sources[w].Recorder())
+	}
+	return res
+}

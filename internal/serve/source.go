@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"amac/internal/exec"
+	"amac/internal/memsim"
+)
+
+// Policy says what a bounded admission queue does with a request that
+// arrives while the queue is full.
+type Policy int
+
+const (
+	// Block never rejects: a request that finds the queue full waits outside
+	// and is admitted when space frees. Its latency still counts from the
+	// original arrival cycle, so blocking shows up as queue delay — under
+	// sustained overload, latencies grow with the length of the run, which
+	// is exactly how an unbounded open-loop queue behaves.
+	Block Policy = iota
+	// Drop rejects a request that arrives while the queue holds Capacity
+	// requests; rejections are counted in the recorder's Dropped.
+	Drop
+)
+
+// String renders the policy name.
+func (p Policy) String() string {
+	if p == Drop {
+		return "drop"
+	}
+	return "block"
+}
+
+// Queue-side bookkeeping costs, in abstract instructions, charged to the
+// serving core: checking the arrival clock and linking a request into the
+// queue, and unlinking the head on a pull. They are small by design — the
+// queue is a few pointer writes next to the operator work.
+const (
+	costAdmit = 1
+	costPop   = 2
+)
+
+// QueueSource feeds a streaming engine from a bounded admission queue filled
+// by an open-loop arrival schedule. Request i of the schedule is lookup i of
+// the wrapped machine; arrivals are processed lazily (and exactly) at each
+// Pull, which is correct because the queue only ever drains at pulls.
+//
+// A QueueSource is single-run state: build a fresh one per (engine, core)
+// execution.
+type QueueSource[S any] struct {
+	m        exec.Machine[S]
+	arrivals []uint64
+	policy   Policy
+	capacity int
+	rec      *Recorder
+
+	next  int   // next schedule index not yet admitted or dropped
+	queue []int // admitted request indices, FIFO
+	head  int   // first live element of queue
+}
+
+// NewQueueSource builds a source serving the machine's lookups at the given
+// arrival cycles (non-decreasing; at most NumLookups entries are used).
+// capacity bounds the admitted queue; zero or negative means unbounded,
+// which forces the Block policy. The recorder may be shared with the caller
+// for reading afterwards; it must not be shared with another live source.
+func NewQueueSource[S any](m exec.Machine[S], arrivals []uint64, capacity int, policy Policy, rec *Recorder) *QueueSource[S] {
+	if n := m.NumLookups(); len(arrivals) > n {
+		arrivals = arrivals[:n]
+	}
+	if capacity <= 0 {
+		capacity = 0
+		policy = Block
+	}
+	if rec == nil {
+		rec = &Recorder{}
+	}
+	return &QueueSource[S]{m: m, arrivals: arrivals, policy: policy, capacity: capacity, rec: rec}
+}
+
+// Recorder returns the recorder accumulating this source's statistics.
+func (q *QueueSource[S]) Recorder() *Recorder { return q.rec }
+
+// depth returns the number of admitted, not-yet-pulled requests.
+func (q *QueueSource[S]) depth() int { return len(q.queue) - q.head }
+
+// admit processes every arrival due at or before now, in arrival order:
+// admitted while there is room, dropped (under Drop) once the queue is
+// full. Lazy processing is exact because the queue only drains at pulls —
+// occupancy cannot fall between two pulls.
+func (q *QueueSource[S]) admit(c *memsim.Core, now uint64) {
+	for q.next < len(q.arrivals) && q.arrivals[q.next] <= now {
+		if q.capacity > 0 && q.depth() >= q.capacity {
+			if q.policy == Drop {
+				q.rec.Offered++
+				q.rec.recordDrop()
+				q.next++
+				continue
+			}
+			// Block: the request waits outside the queue; stop admitting.
+			return
+		}
+		c.Instr(costAdmit)
+		q.rec.Offered++
+		q.queue = append(q.queue, q.next)
+		q.next++
+	}
+	// Reclaim the drained prefix once it dominates the backing array.
+	if q.head > 64 && q.head*2 > len(q.queue) {
+		q.queue = append(q.queue[:0], q.queue[q.head:]...)
+		q.head = 0
+	}
+}
+
+// ProvisionedStages implements exec.Source.
+func (q *QueueSource[S]) ProvisionedStages() int { return q.m.ProvisionedStages() }
+
+// Pull implements exec.Source: admit due arrivals, then hand out the queue
+// head.
+func (q *QueueSource[S]) Pull(c *memsim.Core, s *S, now uint64) exec.PullResult {
+	q.admit(c, now)
+	q.rec.sampleDepth(q.depth())
+	if q.depth() > 0 {
+		idx := q.queue[q.head]
+		q.head++
+		c.Instr(costPop)
+		req := exec.Request{Index: idx, Admit: q.arrivals[idx]}
+		q.rec.recordQueueWait(now - req.Admit)
+		out := q.m.Init(c, s, idx)
+		return exec.PullResult{Status: exec.Pulled, Out: out, Req: req}
+	}
+	if q.next < len(q.arrivals) {
+		return exec.PullResult{Status: exec.Wait, NextArrival: q.arrivals[q.next]}
+	}
+	return exec.PullResult{Status: exec.Exhausted}
+}
+
+// Stage implements exec.Source.
+func (q *QueueSource[S]) Stage(c *memsim.Core, s *S, stage int) exec.Outcome {
+	return q.m.Stage(c, s, stage)
+}
+
+// Complete implements exec.Source: record admission→completion latency.
+func (q *QueueSource[S]) Complete(req exec.Request, done uint64) {
+	q.rec.RecordLatency(done - req.Admit)
+}
