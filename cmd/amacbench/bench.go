@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"amac"
+	"amac/internal/experiments"
+)
+
+// benchEntry is one benchmark's record in the BENCH JSON file.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// SimCycles is the simulated cycle count of one run (technique
+	// micro-benchmarks only; experiments report wall time per artifact).
+	SimCycles uint64 `json:"sim_cycles,omitempty"`
+}
+
+// benchFile is the emitted document.
+type benchFile struct {
+	GeneratedBy string       `json:"generated_by"`
+	GoVersion   string       `json:"go_version"`
+	Scale       string       `json:"scale"`
+	Seed        uint64       `json:"seed"`
+	Benchmarks  []benchEntry `json:"benchmarks"`
+}
+
+// minBenchTime is how long each benchmark accumulates iterations; long
+// enough to amortize one-time workload construction, short enough that the
+// full suite stays a smoke run.
+const minBenchTime = 200 * time.Millisecond
+
+// measure times f until minBenchTime has elapsed (at least twice), recording
+// wall time, allocation counters and the simulated cycles f reports.
+func measure(name string, f func() uint64) benchEntry {
+	f() // warm-up: workload construction and caches are not the subject
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	var cycles uint64
+	for time.Since(start) < minBenchTime || iters < 2 {
+		cycles = f()
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return benchEntry{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+		SimCycles:   cycles,
+	}
+}
+
+// runBenchSuite executes the benchmark suite — one entry per technique
+// micro-benchmark (with simulated cycles) and one per registered experiment
+// (wall time of the full artifact) — and writes the JSON document to path.
+func runBenchSuite(path string, cfg experiments.Config, scale string, seed uint64) error {
+	var out benchFile
+	out.GeneratedBy = "amacbench -bench"
+	out.GoVersion = runtime.Version()
+	out.Scale = scale
+	out.Seed = seed
+
+	// Technique micro-benchmarks: wall-clock cost of simulating one probe
+	// phase, with the simulated cycle count attached so bit-identity across
+	// tool versions is checkable from the file alone.
+	const probeSize = 1 << 16
+	build, probe, err := amac.BuildJoin(amac.JoinSpec{BuildSize: probeSize, ProbeSize: probeSize, Seed: 3})
+	if err != nil {
+		return err
+	}
+	join := amac.NewHashJoin(build, probe)
+	join.PrebuildRaw()
+	joinOut := amac.NewOutput(join.Arena, false)
+	for _, tech := range amac.Techniques {
+		tech := tech
+		out.Benchmarks = append(out.Benchmarks, measure("probe-uniform/"+tech.String(), func() uint64 {
+			sys := amac.MustSystem(amac.XeonX5670())
+			core := sys.NewCore()
+			joinOut.Reset()
+			amac.RunWith(core, join.ProbeMachine(joinOut, true), tech, amac.Params{Window: 10})
+			return core.Cycle()
+		}))
+	}
+
+	gbRel, err := amac.BuildGroupBy(amac.GroupBySpec{Size: 1 << 15, Repeats: 3, Zipf: 0.5, Seed: 3})
+	if err != nil {
+		return err
+	}
+	for _, tech := range amac.Techniques {
+		tech := tech
+		out.Benchmarks = append(out.Benchmarks, measure("groupby/"+tech.String(), func() uint64 {
+			g := amac.NewGroupBy(gbRel, gbRel.Len()/3)
+			sys := amac.MustSystem(amac.XeonX5670())
+			core := sys.NewCore()
+			amac.RunWith(core, g.Machine(), tech, amac.Params{Window: 10})
+			return core.Cycle()
+		}))
+	}
+
+	idxBuild, idxProbe, err := amac.BuildIndexWorkload(1<<15, 5)
+	if err != nil {
+		return err
+	}
+	bstW := amac.NewBSTWorkload(idxBuild, idxProbe)
+	bstOut := amac.NewOutput(bstW.Arena, false)
+	for _, tech := range amac.Techniques {
+		tech := tech
+		out.Benchmarks = append(out.Benchmarks, measure("bst-search/"+tech.String(), func() uint64 {
+			sys := amac.MustSystem(amac.XeonX5670())
+			core := sys.NewCore()
+			bstOut.Reset()
+			amac.RunWith(core, bstW.SearchMachine(bstOut), tech, amac.Params{Window: 10})
+			return core.Cycle()
+		}))
+	}
+
+	// Experiment artifacts: wall time to regenerate each one end to end at
+	// the requested scale (workload construction amortizes across
+	// iterations through the experiments package's workload cache, exactly
+	// as in a sweep).
+	for _, d := range experiments.Registry() {
+		id := d.ID
+		out.Benchmarks = append(out.Benchmarks, measure("exp/"+id, func() uint64 {
+			if _, err := experiments.Run(id, cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "amacbench: bench %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			return 0
+		}))
+	}
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "amacbench: wrote %d benchmark entries to %s\n", len(out.Benchmarks), path)
+	return nil
+}

@@ -13,6 +13,8 @@
 //	amacbench -exp serveN               # streaming service: arrival-rate sweep
 //	amacbench -exp serveN -arrivals bursty -qcap 64  # bursty traffic, bounded drop queue
 //	amacbench -exp serveN -json         # machine-readable results, one JSON object per row
+//	amacbench -bench                    # benchmark suite -> BENCH_pr3.json
+//	amacbench -exp fig6 -cpuprofile cpu.prof  # profile the simulator hot path
 //
 // Results are printed as aligned text tables whose rows and columns mirror
 // the paper's artifacts; EXPERIMENTS.md maps each experiment id to its paper
@@ -26,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"amac/internal/experiments"
@@ -44,13 +48,47 @@ func main() {
 		arrivals = flag.String("arrivals", "", "serving arrival process: deterministic, poisson (default) or bursty")
 		qcap     = flag.Int("qcap", 0, "bound the serving admission queue and drop on overflow (0 = unbounded blocking queue)")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON Lines (one object per table row) instead of text tables")
+		bench    = flag.Bool("bench", false, "run the benchmark suite and write per-benchmark ns/op, allocs/op and simulated cycles")
+		benchOut = flag.String("benchout", "BENCH_pr3.json", "output path for -bench")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
-	if *list || *exp == "" {
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
+	if *list || (*exp == "" && !*bench) {
 		listExperiments(os.Stdout)
 		if *exp == "" && !*list {
-			fmt.Println("\nrun with -exp <id> or -exp all")
+			fmt.Println("\nrun with -exp <id>, -exp all, or -bench")
 		}
 		return
 	}
@@ -79,6 +117,14 @@ func main() {
 	cfg := experiments.Config{
 		Scale: sc, Seed: *seed, Window: *window, Workers: *workers,
 		Arrivals: *arrivals, QueueCap: *qcap,
+	}
+
+	if *bench {
+		if err := runBenchSuite(*benchOut, cfg, *scale, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var ids []string

@@ -1,0 +1,282 @@
+package amac_test
+
+// Golden cycle-count regression tests: fixed-seed runs of every operator
+// under every technique must reproduce the exact simulated statistics
+// recorded in testdata/golden_stats.json. Performance work on the simulator
+// (arena, memsim, engines) is allowed to change how fast the model runs, but
+// never what it computes — cycles, hit/miss counts, evictions and output
+// checksums are bit-for-bit stable. Regenerate the goldens only when the
+// *model* deliberately changes:
+//
+//	go test -run TestGoldenStats -update-golden
+//
+// and justify the diff in the commit message.
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"amac"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_stats.json from the current simulator")
+
+// goldenRecord is everything one run must reproduce exactly.
+type goldenRecord struct {
+	Stats       amac.Stats `json:"stats"`
+	L1Hits      uint64     `json:"l1Hits"`
+	L1Misses    uint64     `json:"l1Misses"`
+	L1Evictions uint64     `json:"l1Evictions"`
+	L2Hits      uint64     `json:"l2Hits"`
+	L2Misses    uint64     `json:"l2Misses"`
+	L2Evictions uint64     `json:"l2Evictions"`
+	L3Hits      uint64     `json:"l3Hits"`
+	L3Misses    uint64     `json:"l3Misses"`
+	L3Evictions uint64     `json:"l3Evictions"`
+	OutCount    uint64     `json:"outCount"`
+	OutChecksum uint64     `json:"outChecksum"`
+}
+
+// goldenRun executes one fixed workload on a fresh core and collects the
+// record. hw selects the socket model so both machine configurations (and the
+// T4's prefetch-drop behaviour) stay covered.
+type goldenRun struct {
+	name string
+	hw   amac.Hardware
+	run  func(c *amac.Core) (outCount, outChecksum uint64)
+}
+
+func goldenRuns(t testing.TB) []goldenRun {
+	const n = 1 << 12
+
+	buildU, probeU, err := amac.BuildJoin(amac.JoinSpec{BuildSize: n, ProbeSize: n, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildZ, probeZ, err := amac.BuildJoin(amac.JoinSpec{BuildSize: n, ProbeSize: n, ZipfBuild: 1.0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gbRel, err := amac.BuildGroupBy(amac.GroupBySpec{Size: n, Repeats: 3, Zipf: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxBuild, idxProbe, err := amac.BuildIndexWorkload(n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var runs []goldenRun
+	for _, tech := range amac.Techniques {
+		tech := tech
+		runs = append(runs,
+			goldenRun{
+				name: "probe-uniform/" + tech.String(),
+				hw:   amac.XeonX5670(),
+				run: func(c *amac.Core) (uint64, uint64) {
+					j := amac.NewHashJoin(buildU, probeU)
+					j.PrebuildRaw()
+					out := amac.NewOutput(j.Arena, false)
+					amac.RunWith(c, j.ProbeMachine(out, true), tech, amac.Params{Window: 10})
+					return out.Count, out.Checksum
+				},
+			},
+			goldenRun{
+				name: "probe-skewed/" + tech.String(),
+				hw:   amac.XeonX5670(),
+				run: func(c *amac.Core) (uint64, uint64) {
+					j := amac.NewHashJoin(buildZ, probeZ)
+					j.PrebuildRaw()
+					out := amac.NewOutput(j.Arena, false)
+					amac.RunWith(c, j.ProbeMachine(out, false), tech, amac.Params{Window: 10})
+					return out.Count, out.Checksum
+				},
+			},
+			goldenRun{
+				name: "probe-uniform-t4/" + tech.String(),
+				hw:   amac.SPARCT4(),
+				run: func(c *amac.Core) (uint64, uint64) {
+					j := amac.NewHashJoin(buildU, probeU)
+					j.PrebuildRaw()
+					out := amac.NewOutput(j.Arena, false)
+					amac.RunWith(c, j.ProbeMachine(out, true), tech, amac.Params{Window: 10})
+					return out.Count, out.Checksum
+				},
+			},
+			goldenRun{
+				name: "build/" + tech.String(),
+				hw:   amac.XeonX5670(),
+				run: func(c *amac.Core) (uint64, uint64) {
+					j := amac.NewHashJoin(buildU, probeU)
+					amac.RunWith(c, j.BuildMachine(), tech, amac.Params{Window: 10})
+					st := j.Table.ComputeStats()
+					return st.Tuples, st.OverflowNodes
+				},
+			},
+			goldenRun{
+				name: "groupby/" + tech.String(),
+				hw:   amac.XeonX5670(),
+				run: func(c *amac.Core) (uint64, uint64) {
+					g := amac.NewGroupBy(gbRel, gbRel.Len()/3)
+					amac.RunWith(c, g.Machine(), tech, amac.Params{Window: 10})
+					groups := g.Table.Groups()
+					var sum uint64
+					for _, ag := range groups {
+						sum += ag.Key*31 + ag.Count*7 + ag.Sum
+					}
+					return uint64(len(groups)), sum
+				},
+			},
+			goldenRun{
+				name: "bst-search/" + tech.String(),
+				hw:   amac.XeonX5670(),
+				run: func(c *amac.Core) (uint64, uint64) {
+					w := amac.NewBSTWorkload(idxBuild, idxProbe)
+					out := amac.NewOutput(w.Arena, false)
+					amac.RunWith(c, w.SearchMachine(out), tech, amac.Params{Window: 10})
+					return out.Count, out.Checksum
+				},
+			},
+			goldenRun{
+				name: "skiplist-search/" + tech.String(),
+				hw:   amac.XeonX5670(),
+				run: func(c *amac.Core) (uint64, uint64) {
+					w := amac.NewSkipListWorkload(idxBuild, idxProbe)
+					w.PrebuildRaw(9)
+					out := amac.NewOutput(w.Arena, false)
+					amac.RunWith(c, w.SearchMachine(out), tech, amac.Params{Window: 10})
+					return out.Count, out.Checksum
+				},
+			},
+			goldenRun{
+				name: "skiplist-insert/" + tech.String(),
+				hw:   amac.XeonX5670(),
+				run: func(c *amac.Core) (uint64, uint64) {
+					w := amac.NewSkipListWorkload(idxBuild, idxProbe)
+					m := w.InsertMachine(9)
+					amac.RunWith(c, m, tech, amac.Params{Window: 10})
+					return uint64(m.Inserted), uint64(m.Restarts)
+				},
+			},
+		)
+	}
+	return runs
+}
+
+func executeGolden(g goldenRun) goldenRecord {
+	sys := amac.MustSystem(g.hw)
+	c := sys.NewCore()
+	outCount, outChecksum := g.run(c)
+	return goldenRecord{
+		Stats:       c.Stats(),
+		L1Hits:      c.L1().Hits(),
+		L1Misses:    c.L1().Misses(),
+		L1Evictions: c.L1().Evictions(),
+		L2Hits:      c.L2().Hits(),
+		L2Misses:    c.L2().Misses(),
+		L2Evictions: c.L2().Evictions(),
+		L3Hits:      sys.L3().Hits(),
+		L3Misses:    sys.L3().Misses(),
+		L3Evictions: sys.L3().Evictions(),
+		OutCount:    outCount,
+		OutChecksum: outChecksum,
+	}
+}
+
+const goldenPath = "testdata/golden_stats.json"
+
+func TestGoldenStats(t *testing.T) {
+	runs := goldenRuns(t)
+
+	if *updateGolden {
+		got := make(map[string]goldenRecord, len(runs))
+		for _, g := range runs {
+			got[g.name] = executeGolden(g)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden records to %s", len(got), goldenPath)
+		return
+	}
+
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing goldens (run with -update-golden to create): %v", err)
+	}
+	var want map[string]goldenRecord
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(runs) {
+		names := make([]string, 0, len(want))
+		for n := range want {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		t.Errorf("golden file has %d records, test defines %d: %v", len(want), len(runs), names)
+	}
+
+	for _, g := range runs {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			exp, ok := want[g.name]
+			if !ok {
+				t.Fatalf("no golden record for %q; run with -update-golden", g.name)
+			}
+			got := executeGolden(g)
+			if got == exp {
+				return
+			}
+			// Report exactly which counters moved, field by field.
+			gv, ev := reflect.ValueOf(got.Stats), reflect.ValueOf(exp.Stats)
+			for i := 0; i < gv.NumField(); i++ {
+				if gv.Field(i).Uint() != ev.Field(i).Uint() {
+					t.Errorf("Stats.%s: got %d want %d", gv.Type().Field(i).Name, gv.Field(i).Uint(), ev.Field(i).Uint())
+				}
+			}
+			pairs := []struct {
+				name      string
+				got, want uint64
+			}{
+				{"L1Hits", got.L1Hits, exp.L1Hits}, {"L1Misses", got.L1Misses, exp.L1Misses}, {"L1Evictions", got.L1Evictions, exp.L1Evictions},
+				{"L2Hits", got.L2Hits, exp.L2Hits}, {"L2Misses", got.L2Misses, exp.L2Misses}, {"L2Evictions", got.L2Evictions, exp.L2Evictions},
+				{"L3Hits", got.L3Hits, exp.L3Hits}, {"L3Misses", got.L3Misses, exp.L3Misses}, {"L3Evictions", got.L3Evictions, exp.L3Evictions},
+				{"OutCount", got.OutCount, exp.OutCount}, {"OutChecksum", got.OutChecksum, exp.OutChecksum},
+			}
+			for _, p := range pairs {
+				if p.got != p.want {
+					t.Errorf("%s: got %d want %d", p.name, p.got, p.want)
+				}
+			}
+			if !t.Failed() {
+				t.Fatalf("records differ: got %+v want %+v", got, exp)
+			}
+		})
+	}
+}
+
+// TestGoldenStatsDeterministic guards the guard: the same run executed twice
+// in one process must produce identical records, otherwise the golden
+// comparison itself would be flaky.
+func TestGoldenStatsDeterministic(t *testing.T) {
+	runs := goldenRuns(t)
+	for _, g := range runs[:4] {
+		a, b := executeGolden(g), executeGolden(g)
+		if a != b {
+			t.Fatalf("%s: two identical runs diverged:\n%+v\n%+v", g.name, a, b)
+		}
+	}
+}

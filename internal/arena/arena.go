@@ -9,11 +9,18 @@
 // the data in a flat, explicitly addressed space — rather than in Go objects —
 // is what lets the simulator reason about cache lines, and it also removes
 // the Go garbage collector from the measured path.
+//
+// Every typed accessor funnels through slice, which runs once per simulated
+// field access — it is on the simulator's hot path. Chunk sizes are therefore
+// required to be powers of two so chunk/offset splits are a shift and a mask,
+// and the panic messages (which call fmt) live in separate noinline slow
+// paths so the bounds checks stay branch-plus-nothing in the common case.
 package arena
 
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"amac/internal/memsim"
 )
@@ -28,29 +35,43 @@ const DefaultChunkBytes = 1 << 20
 
 // Arena is a bump allocator over a simulated address space. The zero address
 // is never handed out, so data structures can use 0 as a nil pointer.
-// An Arena is not safe for concurrent mutation.
+// An Arena is not safe for concurrent use, including read-only use: every
+// access updates the last-touched-chunk cache. The parallel execution layer
+// gives each worker a private arena (see ops.PartitionJoin), which is the
+// supported sharing model.
 type Arena struct {
 	chunkBytes uint64
+	chunkShift uint
+	chunkMask  uint64
 	chunks     [][]byte
 	top        uint64 // next free address
 	allocs     uint64
 	wasted     uint64 // bytes lost to alignment and chunk padding
+
+	// lastIdx/lastBuf cache the most recently touched chunk: consecutive
+	// accesses overwhelmingly land in one chunk, and chunk backing arrays
+	// never move once allocated, so the cached slice header stays valid.
+	lastIdx uint64
+	lastBuf []byte
 }
 
 // New returns an empty arena with the default chunk size.
 func New() *Arena { return NewWithChunkSize(DefaultChunkBytes) }
 
 // NewWithChunkSize returns an empty arena whose backing storage grows in
-// chunks of the given size (must be a positive multiple of the cache-line
-// size). Small chunk sizes are useful in tests.
+// chunks of the given size, which must be a power of two and a multiple of
+// the cache-line size. Small chunk sizes are useful in tests.
 func NewWithChunkSize(chunkBytes int) *Arena {
-	if chunkBytes <= 0 || chunkBytes%memsim.LineSize != 0 {
-		panic(fmt.Sprintf("arena: chunk size %d must be a positive multiple of %d", chunkBytes, memsim.LineSize))
+	if chunkBytes <= 0 || chunkBytes%memsim.LineSize != 0 || chunkBytes&(chunkBytes-1) != 0 {
+		panic(fmt.Sprintf("arena: chunk size %d must be a power of two multiple of %d", chunkBytes, memsim.LineSize))
 	}
 	return &Arena{
 		chunkBytes: uint64(chunkBytes),
+		chunkShift: uint(bits.TrailingZeros64(uint64(chunkBytes))),
+		chunkMask:  uint64(chunkBytes) - 1,
 		// Skip the first cache line so address 0 is never allocated.
-		top: memsim.LineSize,
+		top:     memsim.LineSize,
+		lastIdx: ^uint64(0),
 	}
 }
 
@@ -70,26 +91,31 @@ func (a *Arena) Alloc(size, align int) Addr {
 	}
 
 	pos := a.top
-	if rem := pos % uint64(align); rem != 0 {
+	if rem := pos & (uint64(align) - 1); rem != 0 {
 		pad := uint64(align) - rem
 		pos += pad
 		a.wasted += pad
 	}
 	// Never let an allocation straddle a chunk boundary: bump to the next
 	// chunk if it would.
-	if pos/a.chunkBytes != (pos+uint64(size)-1)/a.chunkBytes {
-		next := (pos/a.chunkBytes + 1) * a.chunkBytes
+	if pos>>a.chunkShift != (pos+uint64(size)-1)>>a.chunkShift {
+		next := (pos>>a.chunkShift + 1) << a.chunkShift
 		a.wasted += next - pos
 		pos = next
 	}
 
-	end := pos + uint64(size)
-	for uint64(len(a.chunks))*a.chunkBytes < end {
+	a.reserve(pos + uint64(size))
+	a.allocs++
+	return Addr(pos)
+}
+
+// reserve grows the backing chunks to cover addresses below end and raises
+// the allocation watermark.
+func (a *Arena) reserve(end uint64) {
+	for uint64(len(a.chunks))<<a.chunkShift < end {
 		a.chunks = append(a.chunks, make([]byte, a.chunkBytes))
 	}
 	a.top = end
-	a.allocs++
-	return Addr(pos)
 }
 
 // AllocLines reserves n whole cache lines (64-byte aligned).
@@ -98,9 +124,10 @@ func (a *Arena) AllocLines(n int) Addr {
 }
 
 // AllocSpan reserves size bytes of contiguous, cache-line-aligned address
-// space, spanning as many chunks as needed. It is used for large arrays
-// (bucket directories, materialized relations) whose elements are addressed
-// by offset arithmetic.
+// space, spanning as many chunks as needed, and reserving all of them in one
+// pass. It is used for large arrays (bucket directories, materialized
+// relations) whose elements are addressed by offset arithmetic. A span
+// larger than one chunk counts as a single allocation.
 func (a *Arena) AllocSpan(size uint64) Addr {
 	if size == 0 {
 		panic("arena: AllocSpan of zero bytes")
@@ -108,26 +135,24 @@ func (a *Arena) AllocSpan(size uint64) Addr {
 	if size <= a.chunkBytes {
 		return a.Alloc(int(size), memsim.LineSize)
 	}
-	// Start at a chunk boundary so that each chunk-sized piece the arena
-	// hands back is adjacent to the previous one.
-	first := a.Alloc(int(a.chunkBytes), int(a.chunkBytes))
-	remaining := size - a.chunkBytes
-	for remaining > 0 {
-		n := remaining
-		if n > a.chunkBytes {
-			n = a.chunkBytes
-		}
-		a.Alloc(int(n), memsim.LineSize)
-		remaining -= n
+	// Start at a chunk boundary so that every chunk-sized piece of the span
+	// is adjacent to the previous one.
+	pos := a.top
+	if rem := pos & a.chunkMask; rem != 0 {
+		pad := a.chunkBytes - rem
+		a.wasted += pad
+		pos += pad
 	}
-	return first
+	a.reserve(pos + size)
+	a.allocs++
+	return Addr(pos)
 }
 
 // Size returns the number of bytes of address space handed out so far
 // (including alignment padding).
 func (a *Arena) Size() uint64 { return a.top }
 
-// Allocations returns the number of Alloc calls served.
+// Allocations returns the number of Alloc/AllocSpan calls served.
 func (a *Arena) Allocations() uint64 { return a.allocs }
 
 // Wasted returns the number of bytes lost to alignment and chunk padding.
@@ -137,19 +162,32 @@ func (a *Arena) Wasted() uint64 { return a.wasted }
 // within one chunk and within allocated space.
 func (a *Arena) slice(addr Addr, size int) []byte {
 	pos := uint64(addr)
-	if size <= 0 || pos == 0 {
-		panic(fmt.Sprintf("arena: invalid access addr=%d size=%d", addr, size))
+	off := pos & a.chunkMask
+	if pos == 0 || size <= 0 || pos+uint64(size) > a.top || off+uint64(size) > a.chunkBytes {
+		a.accessPanic(addr, size)
 	}
+	if idx := pos >> a.chunkShift; idx != a.lastIdx {
+		a.lastIdx = idx
+		a.lastBuf = a.chunks[idx]
+	}
+	return a.lastBuf[off : off+uint64(size)]
+}
+
+// accessPanic reports an invalid access; it is kept out of slice so the fast
+// path never materializes a format call.
+//
+//go:noinline
+func (a *Arena) accessPanic(addr Addr, size int) {
+	pos := uint64(addr)
 	end := pos + uint64(size)
-	if end > a.top {
+	switch {
+	case size <= 0 || pos == 0:
+		panic(fmt.Sprintf("arena: invalid access addr=%d size=%d", addr, size))
+	case end > a.top:
 		panic(fmt.Sprintf("arena: access [%d,%d) beyond allocated space %d", pos, end, a.top))
-	}
-	chunk := pos / a.chunkBytes
-	off := pos % a.chunkBytes
-	if off+uint64(size) > a.chunkBytes {
+	default:
 		panic(fmt.Sprintf("arena: access [%d,%d) crosses a chunk boundary", pos, end))
 	}
-	return a.chunks[chunk][off : off+uint64(size)]
 }
 
 // ReadU64 reads a little-endian 64-bit value.
@@ -190,7 +228,23 @@ func (a *Arena) ReadAddr(addr Addr) Addr { return Addr(a.ReadU64(addr)) }
 // WriteAddr stores an address (pointer field).
 func (a *Arena) WriteAddr(addr Addr, v Addr) { a.WriteU64(addr, uint64(v)) }
 
-// ReadBytes copies size bytes starting at addr into a new slice.
+// Bytes returns the backing bytes for [addr, addr+size) without copying.
+// The returned slice aliases the arena: it stays valid (chunks never move),
+// and writes through it are visible to subsequent reads. Callers that need
+// a stable snapshot must copy; the node accessors in the data-structure
+// packages use it to decode several fields from one bounds check.
+func (a *Arena) Bytes(addr Addr, size int) []byte {
+	return a.slice(addr, size)
+}
+
+// ReadInto copies len(dst) bytes starting at addr into dst without
+// allocating.
+func (a *Arena) ReadInto(dst []byte, addr Addr) {
+	copy(dst, a.slice(addr, len(dst)))
+}
+
+// ReadBytes copies size bytes starting at addr into a new slice. Prefer
+// Bytes or ReadInto on hot paths; ReadBytes allocates its result.
 func (a *Arena) ReadBytes(addr Addr, size int) []byte {
 	out := make([]byte, size)
 	copy(out, a.slice(addr, size))

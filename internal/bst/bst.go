@@ -8,6 +8,8 @@
 package bst
 
 import (
+	"encoding/binary"
+
 	"amac/internal/arena"
 	"amac/internal/memsim"
 )
@@ -39,6 +41,30 @@ func (t *Tree) Len() int { return t.count }
 
 // Root returns the address of the root node (0 if the tree is empty).
 func (t *Tree) Root() arena.Addr { return t.root }
+
+// NodeRef is a zero-copy view of one node's bytes, aliasing the arena; the
+// search stage decodes key and both children from it with a single bounds
+// check per node visit.
+type NodeRef []byte
+
+// Node returns the view of the node at n.
+func (t *Tree) Node(n arena.Addr) NodeRef { return NodeRef(t.a.Bytes(n, NodeBytes)) }
+
+// Key returns the node's key through the view.
+func (n NodeRef) Key() uint64 { return binary.LittleEndian.Uint64(n[offKey:]) }
+
+// Payload returns the node's payload through the view.
+func (n NodeRef) Payload() uint64 { return binary.LittleEndian.Uint64(n[offPayload:]) }
+
+// Left returns the left child through the view (0 if none).
+func (n NodeRef) Left() arena.Addr {
+	return arena.Addr(binary.LittleEndian.Uint64(n[offLeft:]))
+}
+
+// Right returns the right child through the view (0 if none).
+func (n NodeRef) Right() arena.Addr {
+	return arena.Addr(binary.LittleEndian.Uint64(n[offRight:]))
+}
 
 // Key returns the key stored at node n.
 func (t *Tree) Key(n arena.Addr) uint64 { return t.a.ReadU64(n + offKey) }

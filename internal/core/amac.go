@@ -25,6 +25,8 @@
 package core
 
 import (
+	"sync"
+
 	"amac/internal/exec"
 	"amac/internal/memsim"
 )
@@ -61,6 +63,24 @@ type slot struct {
 	retries uint64
 }
 
+// slotPool recycles the circular-buffer scheduling slots across runs, so
+// sweeps that execute the engine thousands of times (figure 6 alone runs it
+// once per window per skew) reuse one buffer. The generic per-lookup state
+// slice []S stays a single exact-size allocation per run.
+var slotPool = sync.Pool{New: func() any { b := make([]slot, 0, 64); return &b }}
+
+// getSlots returns a zeroed slot buffer of length n from the pool.
+func getSlots(n int) *[]slot {
+	p := slotPool.Get().(*[]slot)
+	if cap(*p) < n {
+		*p = make([]slot, n)
+	} else {
+		*p = (*p)[:n]
+		clear(*p)
+	}
+	return p
+}
+
 // Run executes every lookup of the machine using AMAC with the given
 // options and returns scheduling statistics.
 func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
@@ -80,7 +100,9 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
 	stats.Width = width
 
 	states := make([]S, width)
-	slots := make([]slot, width)
+	slotsP := getSlots(width)
+	defer slotPool.Put(slotsP)
+	slots := *slotsP
 	next := 0 // next input lookup to initiate
 	live := 0 // slots holding unfinished lookups
 

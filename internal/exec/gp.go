@@ -28,8 +28,9 @@ func GroupPrefetch[S any](c *memsim.Core, m Machine[S], group int) {
 	}
 
 	states := make([]S, group)
-	current := make([]Outcome, group)
-	done := make([]bool, group)
+	currentP, doneP := getOutcomes(group), getFlags(group)
+	defer func() { outcomePool.Put(currentP); flagPool.Put(doneP) }()
+	current, done := *currentP, *doneP
 
 	for base := 0; base < n; base += group {
 		g := group

@@ -20,7 +20,11 @@
 // because a latch is held by another in-flight lookup.
 package exec
 
-import "amac/internal/memsim"
+import (
+	"sync"
+
+	"amac/internal/memsim"
+)
 
 // Outcome is the result of executing one code stage for one lookup.
 type Outcome struct {
@@ -94,6 +98,39 @@ const (
 // simulation; real workloads release latches after a bounded number of
 // stages.
 const retryLimit = 1 << 20
+
+// outcomePool and flagPool recycle the per-run scheduling buffers of the
+// batch and stream engines (the Outcome-per-slot and done-per-slot arrays),
+// so parameter sweeps that run an engine thousands of times reuse two
+// buffers instead of allocating per run. The generic per-lookup state slice
+// []S cannot live in a package pool (one pool would mix state types), but it
+// is a single exact-size allocation per run.
+var outcomePool = sync.Pool{New: func() any { b := make([]Outcome, 0, 64); return &b }}
+var flagPool = sync.Pool{New: func() any { b := make([]bool, 0, 64); return &b }}
+
+// getOutcomes returns a zeroed Outcome buffer of length n from the pool.
+func getOutcomes(n int) *[]Outcome {
+	p := outcomePool.Get().(*[]Outcome)
+	if cap(*p) < n {
+		*p = make([]Outcome, n)
+	} else {
+		*p = (*p)[:n]
+		clear(*p)
+	}
+	return p
+}
+
+// getFlags returns a zeroed bool buffer of length n from the pool.
+func getFlags(n int) *[]bool {
+	p := flagPool.Get().(*[]bool)
+	if cap(*p) < n {
+		*p = make([]bool, n)
+	} else {
+		*p = (*p)[:n]
+		clear(*p)
+	}
+	return p
+}
 
 // issuePrefetch issues the prefetch requested by an outcome, if any.
 func issuePrefetch(c *memsim.Core, o Outcome) {

@@ -91,8 +91,9 @@ func GroupPrefetchStream[S any](c *memsim.Core, src Source[S], group int) {
 	}
 
 	states := make([]S, group)
-	current := make([]Outcome, group)
-	done := make([]bool, group)
+	currentP, doneP := getOutcomes(group), getFlags(group)
+	defer func() { outcomePool.Put(currentP); flagPool.Put(doneP) }()
+	current, done := *currentP, *doneP
 	reqs := make([]Request, group)
 
 	for {

@@ -49,18 +49,12 @@ func ablRefill(cfg Config) []*profile.Table {
 	rows := []string{"Immediate refill (paper)", "Deferred refill"}
 	t := profile.New("abl-refill", "AMAC slot refill policy (Xeon, skewed probe [1, 0])", "cycles/probe tuple", rows, []string{"AMAC"})
 
-	build, probe, err := relation.BuildJoin(relation.JoinSpec{
-		BuildSize: sz.joinLarge, ProbeSize: sz.joinLarge, ZipfBuild: 1.0, Seed: cfg.seed(),
-	})
-	if err != nil {
-		panic(err)
-	}
 	for i, disable := range []bool{false, true} {
-		j := ops.NewHashJoin(build, probe)
-		j.PrebuildRaw()
+		j, out := cachedProbeJoin(relation.JoinSpec{
+			BuildSize: sz.joinLarge, ProbeSize: sz.joinLarge, ZipfBuild: 1.0, Seed: cfg.seed(),
+		}, 0)
 		sys := memsim.MustSystem(memsim.XeonX5670())
 		c := sys.NewCore()
-		out := ops.NewOutput(j.Arena, false)
 		m := j.ProbeMachine(out, false)
 		core.Run(c, m, core.Options{Width: cfg.window(), DisableImmediateRefill: disable})
 		t.Set(rows[i], "AMAC", float64(c.Cycle())/float64(m.NumLookups()))

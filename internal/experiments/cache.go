@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"amac/internal/ops"
+	"amac/internal/relation"
+)
+
+// Workload construction is seed-deterministic: a spec always generates the
+// same relations, and materializing a probe-only workload performs the same
+// arena allocation sequence, so the resulting address-space image — table
+// layout, input arrays, output buffer address — is byte-identical every
+// time. The sweeps exploit that: instead of regenerating the workload at
+// every sweep point (figure 6 alone would otherwise build the same join 32
+// times), each distinct workload is built once per process and reused, which
+// is what makes paper-scale sweeps (10^6–10^8 tuples) tractable.
+//
+// Only workloads the measured phase treats as read-only are cached whole
+// (probe-only joins, BST search, pre-built skip list search); phases that
+// mutate their structure (hash build, group-by, skip list insert) cache just
+// the generated relations and re-materialize fresh. Either way a run
+// observes exactly the state a fresh construction would have produced, so
+// simulated results are bit-identical to the uncached path — the golden
+// cycle-count tests enforce this.
+
+// fifoCache is a small insertion-ordered cache: sweeps revisit a handful of
+// specs, and the cap keeps a long `-exp all` session from pinning every
+// workload it ever built.
+type fifoCache[K comparable, V any] struct {
+	entries map[K]V
+	order   []K
+	cap     int
+}
+
+func newFIFOCache[K comparable, V any](cap int) *fifoCache[K, V] {
+	return &fifoCache[K, V]{entries: make(map[K]V), cap: cap}
+}
+
+func (c *fifoCache[K, V]) get(k K, build func() V) V {
+	if v, ok := c.entries[k]; ok {
+		return v
+	}
+	v := build()
+	if len(c.order) >= c.cap {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.entries[k] = v
+	c.order = append(c.order, k)
+	return v
+}
+
+type relPair struct{ build, probe *relation.Relation }
+
+type joinKey struct {
+	spec    relation.JoinSpec
+	buckets int
+}
+
+type indexKey struct {
+	n    int
+	seed uint64
+}
+
+// probeJoin is a materialized probe-only join plus the output collector that
+// was allocated right after it, preserving the fresh-construction layout.
+type probeJoin struct {
+	j   *ops.HashJoin
+	out *ops.Output
+}
+
+// indexWorkload is a materialized read-only index-search workload (BST or
+// pre-built skip list) plus its output collector.
+type indexWorkload[W any] struct {
+	w   W
+	out *ops.Output
+}
+
+var workloads = struct {
+	mu     sync.Mutex
+	joins  *fifoCache[relation.JoinSpec, relPair]
+	probes *fifoCache[joinKey, probeJoin]
+	groups *fifoCache[relation.GroupBySpec, *relation.Relation]
+	index  *fifoCache[indexKey, relPair]
+	bsts   *fifoCache[indexKey, indexWorkload[*ops.BSTWorkload]]
+	skips  *fifoCache[indexKey, indexWorkload[*ops.SkipListWorkload]]
+}{
+	joins:  newFIFOCache[relation.JoinSpec, relPair](16),
+	probes: newFIFOCache[joinKey, probeJoin](8),
+	groups: newFIFOCache[relation.GroupBySpec, *relation.Relation](8),
+	index:  newFIFOCache[indexKey, relPair](8),
+	bsts:   newFIFOCache[indexKey, indexWorkload[*ops.BSTWorkload]](4),
+	skips:  newFIFOCache[indexKey, indexWorkload[*ops.SkipListWorkload]](4),
+}
+
+// cachedJoinRelations returns the generated (immutable) relations for spec.
+func cachedJoinRelations(spec relation.JoinSpec) (build, probe *relation.Relation) {
+	workloads.mu.Lock()
+	defer workloads.mu.Unlock()
+	p := workloads.joins.get(spec, func() relPair {
+		b, pr, err := relation.BuildJoin(spec)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		return relPair{b, pr}
+	})
+	return p.build, p.probe
+}
+
+// cachedProbeJoin returns a materialized probe-only join (table pre-built
+// raw) and its output collector, reset for a fresh measured run. The probe
+// machines never mutate the table or inputs, so reuse is read-only.
+func cachedProbeJoin(spec relation.JoinSpec, buckets int) (*ops.HashJoin, *ops.Output) {
+	build, probe := cachedJoinRelations(spec)
+	workloads.mu.Lock()
+	defer workloads.mu.Unlock()
+	e := workloads.probes.get(joinKey{spec, buckets}, func() probeJoin {
+		var j *ops.HashJoin
+		if buckets > 0 {
+			j = ops.NewHashJoinWithBuckets(build, probe, buckets)
+		} else {
+			j = ops.NewHashJoin(build, probe)
+		}
+		j.PrebuildRaw()
+		// Allocated after PrebuildRaw, exactly as a fresh run would.
+		return probeJoin{j: j, out: ops.NewOutput(j.Arena, false)}
+	})
+	e.out.Reset()
+	return e.j, e.out
+}
+
+// cachedGroupByRelation returns the generated group-by input; the table is
+// re-materialized per run because aggregation mutates it.
+func cachedGroupByRelation(spec relation.GroupBySpec) *relation.Relation {
+	workloads.mu.Lock()
+	defer workloads.mu.Unlock()
+	return workloads.groups.get(spec, func() *relation.Relation {
+		rel, err := relation.BuildGroupBy(spec)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		return rel
+	})
+}
+
+// cachedIndexRelations returns the generated index build/probe relations.
+func cachedIndexRelations(n int, seed uint64) (build, probe *relation.Relation) {
+	workloads.mu.Lock()
+	defer workloads.mu.Unlock()
+	p := workloads.index.get(indexKey{n, seed}, func() relPair {
+		b, pr, err := relation.BuildIndexWorkload(n, seed)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		return relPair{b, pr}
+	})
+	return p.build, p.probe
+}
+
+// cachedBSTWorkload returns a materialized tree-search workload; searches
+// never mutate the tree.
+func cachedBSTWorkload(n int, seed uint64) (*ops.BSTWorkload, *ops.Output) {
+	build, probe := cachedIndexRelations(n, seed)
+	workloads.mu.Lock()
+	defer workloads.mu.Unlock()
+	e := workloads.bsts.get(indexKey{n, seed}, func() indexWorkload[*ops.BSTWorkload] {
+		w := ops.NewBSTWorkload(build, probe)
+		return indexWorkload[*ops.BSTWorkload]{w: w, out: ops.NewOutput(w.Arena, false)}
+	})
+	e.out.Reset()
+	return e.w, e.out
+}
+
+// cachedSkipListSearch returns a materialized, pre-built skip list search
+// workload; searches never mutate the list.
+func cachedSkipListSearch(n int, seed uint64) (*ops.SkipListWorkload, *ops.Output) {
+	build, probe := cachedIndexRelations(n, seed)
+	workloads.mu.Lock()
+	defer workloads.mu.Unlock()
+	e := workloads.skips.get(indexKey{n, seed}, func() indexWorkload[*ops.SkipListWorkload] {
+		w := ops.NewSkipListWorkload(build, probe)
+		w.PrebuildRaw(seed)
+		return indexWorkload[*ops.SkipListWorkload]{w: w, out: ops.NewOutput(w.Arena, false)}
+	})
+	e.out.Reset()
+	return e.w, e.out
+}

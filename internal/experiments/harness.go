@@ -92,15 +92,24 @@ func runJoin(cfg joinConfig) joinResult {
 		cfg.window = ops.DefaultWindow
 	}
 
-	build, probe, err := relation.BuildJoin(cfg.spec)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
-	}
-	var j *ops.HashJoin
-	if cfg.buckets > 0 {
-		j = ops.NewHashJoinWithBuckets(build, probe, cfg.buckets)
+	// The measured phases dictate what may be reused: a charged build phase
+	// mutates the table, so it materializes a fresh workload from the cached
+	// relations; a probe-only run reuses the whole materialized image (table,
+	// inputs and output buffer are read-only or reset), which a fresh
+	// construction would reproduce byte-for-byte anyway.
+	var (
+		j   *ops.HashJoin
+		out *ops.Output
+	)
+	if cfg.chargeBuild {
+		build, probe := cachedJoinRelations(cfg.spec)
+		if cfg.buckets > 0 {
+			j = ops.NewHashJoinWithBuckets(build, probe, cfg.buckets)
+		} else {
+			j = ops.NewHashJoin(build, probe)
+		}
 	} else {
-		j = ops.NewHashJoin(build, probe)
+		j, out = cachedProbeJoin(cfg.spec, cfg.buckets)
 	}
 
 	sys := memsim.MustSystem(cfg.machine)
@@ -113,13 +122,12 @@ func runJoin(cfg joinConfig) joinResult {
 		m := j.BuildMachine()
 		ops.RunMachine(core, m, cfg.tech, ops.Params{Window: cfg.window})
 		res.build = phaseResult{cycles: core.Cycle(), stats: core.Stats(), tuples: j.Build.Len()}
+		out = ops.NewOutput(j.Arena, false)
 	} else {
-		j.PrebuildRaw()
 		warmTable(core, j)
 	}
 	core.ResetStats()
 
-	out := ops.NewOutput(j.Arena, false)
 	pm := j.ProbeMachine(out, cfg.earlyExit)
 	pm.Provision = cfg.provision
 	pm.Limit = j.Probe.Len() / cfg.threads
@@ -192,10 +200,7 @@ func (r parallelJoinResult) aggregateThroughputMTuplesPerSec(freqHz float64) flo
 // the workers, tables pre-built raw. Probes never mutate the tables, so one
 // partitioned workload can be reused read-only across techniques.
 func newParallelJoin(spec relation.JoinSpec, workers int) *ops.PartitionedHashJoin {
-	build, probe, err := relation.BuildJoin(spec)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
-	}
+	build, probe := cachedJoinRelations(spec)
 	pj := ops.PartitionJoin(build, probe, workers)
 	pj.PrebuildRaw()
 	return pj
@@ -277,10 +282,7 @@ func runGroupBy(cfg groupByConfig) phaseResult {
 	if cfg.window <= 0 {
 		cfg.window = ops.DefaultWindow
 	}
-	rel, err := relation.BuildGroupBy(cfg.spec)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
-	}
+	rel := cachedGroupByRelation(cfg.spec)
 	groups := cfg.spec.Size / cfg.spec.Repeats
 	g := ops.NewGroupBy(rel, groups)
 	sys := memsim.MustSystem(cfg.machine)
@@ -291,39 +293,27 @@ func runGroupBy(cfg groupByConfig) phaseResult {
 
 // runBSTSearch measures a tree-search phase over a 2^sizeExp-node tree.
 func runBSTSearch(machine memsim.Config, sizeExp int, tech ops.Technique, window int, seed uint64) phaseResult {
-	build, probe, err := relation.BuildIndexWorkload(1<<sizeExp, seed)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
-	}
-	w := ops.NewBSTWorkload(build, probe)
+	w, out := cachedBSTWorkload(1<<sizeExp, seed)
 	sys := memsim.MustSystem(machine)
 	core := sys.NewCore()
-	out := ops.NewOutput(w.Arena, false)
 	ops.RunMachine(core, w.SearchMachine(out), tech, ops.Params{Window: window})
-	return phaseResult{cycles: core.Cycle(), stats: core.Stats(), tuples: probe.Len(), outputCount: out.Count}
+	return phaseResult{cycles: core.Cycle(), stats: core.Stats(), tuples: w.Probe.Len(), outputCount: out.Count}
 }
 
 // runSkipListSearch measures a search phase over a pre-built skip list.
 func runSkipListSearch(machine memsim.Config, sizeExp int, tech ops.Technique, window int, seed uint64) phaseResult {
-	build, probe, err := relation.BuildIndexWorkload(1<<sizeExp, seed)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
-	}
-	w := ops.NewSkipListWorkload(build, probe)
-	w.PrebuildRaw(seed)
+	w, out := cachedSkipListSearch(1<<sizeExp, seed)
 	sys := memsim.MustSystem(machine)
 	core := sys.NewCore()
-	out := ops.NewOutput(w.Arena, false)
 	ops.RunMachine(core, w.SearchMachine(out), tech, ops.Params{Window: window})
-	return phaseResult{cycles: core.Cycle(), stats: core.Stats(), tuples: probe.Len(), outputCount: out.Count}
+	return phaseResult{cycles: core.Cycle(), stats: core.Stats(), tuples: w.Probe.Len(), outputCount: out.Count}
 }
 
 // runSkipListInsert measures building a skip list from scratch.
 func runSkipListInsert(machine memsim.Config, sizeExp int, tech ops.Technique, window int, seed uint64) phaseResult {
-	build, probe, err := relation.BuildIndexWorkload(1<<sizeExp, seed)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
-	}
+	// Inserts mutate the list, so only the relations are cached; the list is
+	// rebuilt fresh for every measured run.
+	build, probe := cachedIndexRelations(1<<sizeExp, seed)
 	w := ops.NewSkipListWorkload(build, probe)
 	sys := memsim.MustSystem(machine)
 	core := sys.NewCore()

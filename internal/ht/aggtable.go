@@ -1,6 +1,9 @@
 package ht
 
 import (
+	"encoding/binary"
+	"math/bits"
+
 	"amac/internal/arena"
 	"amac/internal/memsim"
 )
@@ -26,6 +29,7 @@ type AggTable struct {
 	a        *arena.Arena
 	buckets  arena.Addr
 	nbuckets uint64
+	hashM    uint64 // Lemire fast-mod magic for nbuckets (0 = use %)
 
 	overflowNodes uint64
 }
@@ -66,6 +70,9 @@ func NewAgg(a *arena.Arena, nbuckets int) *AggTable {
 		nbuckets = 1
 	}
 	t := &AggTable{a: a, nbuckets: uint64(nbuckets)}
+	if t.nbuckets > 1 && t.nbuckets < 1<<32 {
+		t.hashM = ^uint64(0)/t.nbuckets + 1
+	}
 	t.buckets = a.AllocSpan(uint64(nbuckets) * NodeBytes)
 	return t
 }
@@ -82,8 +89,16 @@ func (t *AggTable) BaseAddr() arena.Addr { return t.buckets }
 // SizeBytes returns the footprint of the bucket array plus overflow nodes.
 func (t *AggTable) SizeBytes() uint64 { return (t.nbuckets + t.overflowNodes) * NodeBytes }
 
-// Hash maps a key to a bucket index (same scheme as the join table).
-func (t *AggTable) Hash(key uint64) uint64 { return (key - 1) % t.nbuckets }
+// Hash maps a key to a bucket index (same scheme as the join table,
+// including the fast-mod fast path).
+func (t *AggTable) Hash(key uint64) uint64 {
+	k := key - 1
+	if t.hashM != 0 && k < 1<<32 {
+		mod, _ := bits.Mul64(t.hashM*k, t.nbuckets)
+		return mod
+	}
+	return k % t.nbuckets
+}
 
 // BucketAddr returns the address of the bucket header for a hash value.
 func (t *AggTable) BucketAddr(hash uint64) arena.Addr {
@@ -94,6 +109,38 @@ func (t *AggTable) BucketAddr(hash uint64) arena.Addr {
 func (t *AggTable) AllocNode() arena.Addr {
 	t.overflowNodes++
 	return t.a.Alloc(NodeBytes, memsim.LineSize)
+}
+
+// AggNodeRef is a zero-copy view of one group node's 64 bytes, aliasing the
+// arena (see ht.NodeRef). The group-by stage machine decodes a node visit
+// and applies the aggregate update through it with a single bounds check.
+type AggNodeRef []byte
+
+// Node returns the view of the node at n.
+func (t *AggTable) Node(n arena.Addr) AggNodeRef { return AggNodeRef(t.a.Bytes(n, NodeBytes)) }
+
+// Used reports whether the node holds a group.
+func (n AggNodeRef) Used() bool { return n[aggOffUsed] != 0 }
+
+// Key returns the group key stored in the node.
+func (n AggNodeRef) Key() uint64 { return binary.LittleEndian.Uint64(n[aggOffKey:]) }
+
+// Next returns the overflow pointer (0 = end of chain).
+func (n AggNodeRef) Next() arena.Addr {
+	return arena.Addr(binary.LittleEndian.Uint64(n[aggOffNext:]))
+}
+
+// Update folds payload into the node's aggregates through the view.
+func (n AggNodeRef) Update(payload uint64) {
+	binary.LittleEndian.PutUint64(n[aggOffCount:], binary.LittleEndian.Uint64(n[aggOffCount:])+1)
+	binary.LittleEndian.PutUint64(n[aggOffSum:], binary.LittleEndian.Uint64(n[aggOffSum:])+payload)
+	binary.LittleEndian.PutUint64(n[aggOffSumSq:], binary.LittleEndian.Uint64(n[aggOffSumSq:])+payload*payload)
+	if payload < binary.LittleEndian.Uint64(n[aggOffMin:]) {
+		binary.LittleEndian.PutUint64(n[aggOffMin:], payload)
+	}
+	if payload > binary.LittleEndian.Uint64(n[aggOffMax:]) {
+		binary.LittleEndian.PutUint64(n[aggOffMax:], payload)
+	}
 }
 
 // NodeUsed reports whether the node holds a group.
@@ -136,15 +183,7 @@ func (t *AggTable) InitGroup(n arena.Addr, key, payload uint64) {
 
 // UpdateGroup folds payload into the aggregates of an existing group node.
 func (t *AggTable) UpdateGroup(n arena.Addr, payload uint64) {
-	t.a.WriteU64(n+aggOffCount, t.a.ReadU64(n+aggOffCount)+1)
-	t.a.WriteU64(n+aggOffSum, t.a.ReadU64(n+aggOffSum)+payload)
-	t.a.WriteU64(n+aggOffSumSq, t.a.ReadU64(n+aggOffSumSq)+payload*payload)
-	if payload < t.a.ReadU64(n+aggOffMin) {
-		t.a.WriteU64(n+aggOffMin, payload)
-	}
-	if payload > t.a.ReadU64(n+aggOffMax) {
-		t.a.WriteU64(n+aggOffMax, payload)
-	}
+	t.Node(n).Update(payload)
 }
 
 // Group materializes the aggregates held by a node.

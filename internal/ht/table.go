@@ -18,7 +18,9 @@
 package ht
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"amac/internal/arena"
 	"amac/internal/memsim"
@@ -53,6 +55,7 @@ type Table struct {
 	a        *arena.Arena
 	buckets  arena.Addr
 	nbuckets uint64
+	hashM    uint64 // Lemire fast-mod magic for nbuckets (0 = use %)
 
 	overflowNodes uint64
 }
@@ -64,6 +67,9 @@ func New(a *arena.Arena, nbuckets int) *Table {
 		nbuckets = 1
 	}
 	t := &Table{a: a, nbuckets: uint64(nbuckets)}
+	if t.nbuckets > 1 && t.nbuckets < 1<<32 {
+		t.hashM = ^uint64(0)/t.nbuckets + 1
+	}
 	t.buckets = a.AllocSpan(uint64(nbuckets) * NodeBytes)
 	return t
 }
@@ -85,8 +91,16 @@ func (t *Table) SizeBytes() uint64 { return (t.nbuckets + t.overflowNodes) * Nod
 // hashing of the original implementation, a modulo spread gives a perfectly
 // even distribution for unique keys; skew in the key values translates
 // directly into skewed bucket occupancy, which is the effect the paper
-// studies.
-func (t *Table) Hash(key uint64) uint64 { return (key - 1) % t.nbuckets }
+// studies. The modulo itself runs once per lookup, so 32-bit-safe keys take
+// the Lemire fast-mod double multiply instead of the hardware divide.
+func (t *Table) Hash(key uint64) uint64 {
+	k := key - 1
+	if t.hashM != 0 && k < 1<<32 {
+		mod, _ := bits.Mul64(t.hashM*k, t.nbuckets)
+		return mod
+	}
+	return k % t.nbuckets
+}
 
 // BucketAddr returns the address of the bucket header for a hash value.
 func (t *Table) BucketAddr(hash uint64) arena.Addr {
@@ -100,6 +114,51 @@ func (t *Table) AllocNode() arena.Addr {
 }
 
 // --- Node field accessors (raw; no simulator time is charged) ---
+
+// NodeRef is a zero-copy view of one node's 64 bytes, aliasing the arena.
+// The stage machines fetch it once per node visit and decode every field
+// from it, instead of paying a bounds-checked arena access per field. Writes
+// through a NodeRef are visible to the arena immediately; the view never
+// goes stale because arena chunks do not move.
+type NodeRef []byte
+
+// Node returns the view of the node at n.
+func (t *Table) Node(n arena.Addr) NodeRef { return NodeRef(t.a.Bytes(n, NodeBytes)) }
+
+// Count returns the number of tuples stored in the node (0..2).
+func (n NodeRef) Count() int { return int(n[offCount]) }
+
+// Key returns the key in the given slot.
+func (n NodeRef) Key(slot int) uint64 {
+	return binary.LittleEndian.Uint64(n[offKey0+slot*16:])
+}
+
+// Payload returns the payload in the given slot.
+func (n NodeRef) Payload(slot int) uint64 {
+	return binary.LittleEndian.Uint64(n[offPay0+slot*16:])
+}
+
+// Next returns the overflow pointer (0 means end of chain).
+func (n NodeRef) Next() arena.Addr {
+	return arena.Addr(binary.LittleEndian.Uint64(n[offNext:]))
+}
+
+// setNext updates the overflow pointer through the view.
+func (n NodeRef) setNext(next arena.Addr) {
+	binary.LittleEndian.PutUint64(n[offNext:], uint64(next))
+}
+
+// appendTuple inserts a tuple through the view if there is room.
+func (n NodeRef) appendTuple(key, payload uint64) bool {
+	c := int(n[offCount])
+	if c >= TuplesPerNode {
+		return false
+	}
+	binary.LittleEndian.PutUint64(n[offKey0+c*16:], key)
+	binary.LittleEndian.PutUint64(n[offPay0+c*16:], payload)
+	n[offCount] = uint8(c + 1)
+	return true
+}
 
 // NodeCount returns the number of tuples stored in the node.
 func (t *Table) NodeCount(n arena.Addr) int { return int(t.a.ReadU8(n + offCount)) }
@@ -169,18 +228,19 @@ func (t *Table) AppendTuple(n arena.Addr, key, payload uint64) bool {
 // two node visits regardless of chain length, which is why the paper's build
 // phase is insensitive to key skew (Section 5.1).
 func (t *Table) InsertRaw(key, payload uint64) {
-	header := t.BucketAddr(t.Hash(key))
-	if t.AppendTuple(header, key, payload) {
+	header := t.Node(t.BucketAddr(t.Hash(key)))
+	if header.appendTuple(key, payload) {
 		return
 	}
-	next := t.NodeNext(header)
-	if next != 0 && t.AppendTuple(next, key, payload) {
+	next := header.Next()
+	if next != 0 && t.Node(next).appendTuple(key, payload) {
 		return
 	}
 	node := t.AllocNode()
-	t.SetNodeNext(node, next)
-	t.SetNodeNext(header, node)
-	t.AppendTuple(node, key, payload)
+	nv := t.Node(node)
+	nv.setNext(next)
+	header.setNext(node)
+	nv.appendTuple(key, payload)
 }
 
 // LookupAllRaw returns the payloads of every tuple whose key matches,
@@ -190,13 +250,14 @@ func (t *Table) LookupAllRaw(key uint64) []uint64 {
 	var out []uint64
 	n := t.BucketAddr(t.Hash(key))
 	for n != 0 {
-		cnt := t.NodeCount(n)
+		node := t.Node(n)
+		cnt := node.Count()
 		for s := 0; s < cnt; s++ {
-			if t.NodeKey(n, s) == key {
-				out = append(out, t.NodePayload(n, s))
+			if node.Key(s) == key {
+				out = append(out, node.Payload(s))
 			}
 		}
-		n = t.NodeNext(n)
+		n = node.Next()
 	}
 	return out
 }

@@ -1,37 +1,113 @@
 package memsim
 
+import (
+	"math/bits"
+	"sort"
+)
+
 // Cache is a set-associative cache with true-LRU replacement. It stores only
 // cache-line numbers (tags); data always lives in the arena. A Cache is not
 // safe for concurrent use; the simulator is single-threaded by design.
+//
+// This type is the innermost loop of the whole simulator — every simulated
+// load, store, prefetch and stream-prefetcher fill ends in a handful of
+// Lookup/Insert calls — so the representation is chosen for the host's
+// memory system as much as for clarity:
+//
+//   - Each way is one packed uint64 word: the line tag in the low 32 bits
+//     (lineNumber+1, 0 = invalid) and the LRU use stamp in the high 32 bits.
+//     A set scan, a recency refresh and a victim selection all touch one
+//     contiguous word per way instead of two parallel arrays, halving the
+//     metadata footprint (the simulated L3's alone would otherwise be 3 MB)
+//     and the number of host cache lines dirtied per operation.
+//   - 32-bit use stamps wrap; before the stamp counter would overflow, the
+//     cache renormalizes by compacting all live stamps order-preservingly.
+//     LRU victim selection depends only on the relative order of stamps, so
+//     renormalization is invisible to the simulated results.
+//   - The set-index computation avoids the hardware divide: power-of-two
+//     set counts use a mask and others (the Xeon L3 has 12288 sets) a
+//     Lemire fast-mod double multiply. Both produce exactly line % sets.
+//
+// 32-bit tags bound the simulated address space to 2^32-2 cache lines
+// (256 GB); exceeding it panics loudly rather than aliasing.
 type Cache struct {
 	name    string
 	latency uint64
 	ways    int
 	sets    uint64
+	// mask is sets-1 when sets is a power of two (pow2 true).
+	pow2 bool
+	mask uint64
+	// fastM is ceil(2^64 / sets), the fast-mod magic; valid when sets > 1
+	// fits in 32 bits (lines always do, per the address-space bound).
+	fastM uint64
 
-	// tags[set*ways+way] holds lineNumber+1 so that zero means invalid.
-	tags []uint64
-	// use[set*ways+way] is a monotonically increasing use stamp for LRU.
-	use   []uint64
-	clock uint64
+	// words[set*ways+way] = use<<32 | tag.
+	words []uint64
+	clock uint32
+
+	// memoTag/memoIdx memoize the ways that served the most recent hits,
+	// direct-mapped by the line's low bits: operators touch several fields
+	// of one node, and the stream prefetcher re-installs a sliding window of
+	// lines it filled one access earlier, so re-touching a just-used line is
+	// the common case and skips the set scan. Entries are validated against
+	// the backing word before use, so Insert/Invalidate/Reset can never
+	// serve a stale way.
+	memoTag [cacheMemoEntries]uint32
+	memoIdx [cacheMemoEntries]int32
+
+	// missLine/missClock/missVictim fuse the Lookup-miss-then-Insert pair
+	// every demand miss performs: the miss scan reads each way's whole
+	// packed word anyway, so it records the victim way it would pick, and
+	// the following Insert of the same line replays it without a second set
+	// scan. missClock guards the memo — any recency change in between
+	// (possible on the MSHR-hit path, where in-flight fills drain first)
+	// advances the clock and voids it.
+	missLine   uint64
+	missClock  uint32
+	missVictim int32
 
 	hits      uint64
 	misses    uint64
 	evictions uint64
 }
 
+// cacheMemoEntries is the hit-way memo size (a power of two), covering the
+// stream prefetcher's fill window plus the demand line it trails.
+const cacheMemoEntries = 8
+
+// noLine is an impossible line number (tagOf rejects it), used to mark the
+// miss-victim memo as empty.
+const noLine = ^uint64(0)
+
+// tagOf converts a line number to its packed tag, enforcing the simulator's
+// address-space bound.
+func tagOf(line uint64) uint32 {
+	if line >= 1<<32-1 {
+		panic("memsim: cache line number exceeds the simulator's 256 GB address-space bound")
+	}
+	return uint32(line) + 1
+}
+
 // NewCache builds a cache from its configuration. The configuration must have
 // been validated.
 func NewCache(name string, cfg CacheConfig) *Cache {
 	sets := cfg.Sets()
-	return &Cache{
-		name:    name,
-		latency: cfg.LatencyCycles,
-		ways:    cfg.Ways,
-		sets:    uint64(sets),
-		tags:    make([]uint64, sets*cfg.Ways),
-		use:     make([]uint64, sets*cfg.Ways),
+	c := &Cache{
+		name:     name,
+		latency:  cfg.LatencyCycles,
+		ways:     cfg.Ways,
+		sets:     uint64(sets),
+		words:    make([]uint64, sets*cfg.Ways),
+		missLine: noLine,
 	}
+	if c.sets&(c.sets-1) == 0 {
+		c.pow2 = true
+		c.mask = c.sets - 1
+	} else if c.sets < 1<<32 {
+		c.fastM = ^uint64(0)/c.sets + 1
+	}
+	return c
 }
 
 // Name returns the label given at construction time.
@@ -42,33 +118,123 @@ func (c *Cache) Latency() uint64 { return c.latency }
 
 // setBase returns the index of the first way of the set holding line.
 func (c *Cache) setBase(line uint64) int {
+	if c.pow2 {
+		return int(line&c.mask) * c.ways
+	}
+	if c.fastM != 0 {
+		// Lemire fast-mod: line % sets for 32-bit operands (lines are
+		// 32-bit by the address-space bound).
+		mod, _ := bits.Mul64(c.fastM*line, c.sets)
+		return int(mod) * c.ways
+	}
 	return int(line%c.sets) * c.ways
 }
 
+// tick advances the use-stamp clock, renormalizing first if the next stamp
+// would overflow 32 bits.
+func (c *Cache) tick() uint32 {
+	if c.clock == ^uint32(0) {
+		c.renormalize()
+	}
+	c.clock++
+	return c.clock
+}
+
+// renormalize compacts all live use stamps to 1..K preserving their order.
+// LRU decisions depend only on stamp order, so simulated behaviour is
+// unchanged; it runs at most once per 2^32 stamp assignments per cache.
+func (c *Cache) renormalize() {
+	type live struct {
+		idx int
+		use uint32
+	}
+	entries := make([]live, 0, len(c.words))
+	for i, w := range c.words {
+		if uint32(w) != 0 {
+			entries = append(entries, live{i, uint32(w >> 32)})
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].use < entries[b].use })
+	for rank, e := range entries {
+		c.words[e.idx] = uint64(rank+1)<<32 | uint64(uint32(c.words[e.idx]))
+	}
+	c.clock = uint32(len(entries))
+	// The clock jumped backwards; a stale miss-victim memo could otherwise
+	// match a future clock value coincidentally.
+	c.missLine = noLine
+}
+
 // Lookup reports whether line is present and, if so, marks it most recently
-// used. Statistics are updated.
+// used. Statistics are updated. The memo hit — the common case for
+// node-field re-touches and stream-filled lines — is checked first.
 func (c *Cache) Lookup(line uint64) bool {
-	base := c.setBase(line)
-	tag := line + 1
-	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == tag {
-			c.clock++
-			c.use[base+w] = c.clock
+	tag := tagOf(line)
+	if s := tag & (cacheMemoEntries - 1); c.memoTag[s] == tag {
+		if idx := c.memoIdx[s]; uint32(c.words[idx]) == tag {
+			c.words[idx] = uint64(c.tick())<<32 | uint64(tag)
 			c.hits++
 			return true
 		}
 	}
+	return c.lookupSlow(line, tag)
+}
+
+// lookupSlow scans the set for tag, refreshing recency on a hit. On a miss
+// it additionally records the victim way (same selection rule as
+// insertSlowAt) so that the fill this miss triggers can insert without
+// rescanning the set. The victim scan runs only after the hit scan failed —
+// hits stay one compare per way, and the miss's second pass re-reads words
+// the first pass just pulled into the host's cache.
+func (c *Cache) lookupSlow(line uint64, tag uint32) bool {
+	base := c.setBase(line)
+	words := c.words[base : base+c.ways]
+	for w := range words {
+		if uint32(words[w]) == tag {
+			words[w] = uint64(c.tick())<<32 | uint64(tag)
+			c.hits++
+			c.memoize(tag, base+w)
+			return true
+		}
+	}
 	c.misses++
+	invalid, lru := -1, 0
+	lruUse := ^uint32(0)
+	for w := range words {
+		word := words[w]
+		if uint32(word) == 0 {
+			invalid = w
+		} else if invalid < 0 && uint32(word>>32) < lruUse {
+			lru, lruUse = w, uint32(word>>32)
+		}
+	}
+	if invalid >= 0 {
+		c.missVictim = int32(base + invalid)
+	} else {
+		c.missVictim = int32(base + lru)
+	}
+	c.missLine = line
+	c.missClock = c.clock
 	return false
 }
 
 // Contains reports whether line is present without updating recency or
 // statistics. It is used by prefetch filtering.
 func (c *Cache) Contains(line uint64) bool {
+	tag := tagOf(line)
+	if s := tag & (cacheMemoEntries - 1); c.memoTag[s] == tag {
+		if uint32(c.words[c.memoIdx[s]]) == tag {
+			return true
+		}
+	}
+	return c.containsSlow(line, tag)
+}
+
+// containsSlow scans the set for tag without side effects.
+func (c *Cache) containsSlow(line uint64, tag uint32) bool {
 	base := c.setBase(line)
-	tag := line + 1
-	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == tag {
+	words := c.words[base : base+c.ways]
+	for w := range words {
+		if uint32(words[w]) == tag {
 			return true
 		}
 	}
@@ -78,50 +244,125 @@ func (c *Cache) Contains(line uint64) bool {
 // Insert places line in the cache, evicting the least recently used way of
 // its set if necessary. It returns the evicted line and true if an eviction
 // of a valid line occurred. Inserting a line that is already present only
-// refreshes its recency.
+// refreshes its recency — the memoized fast path for that case is what the
+// stream prefetcher hits three times per re-installed line.
 func (c *Cache) Insert(line uint64) (evicted uint64, ok bool) {
-	base := c.setBase(line)
-	tag := line + 1
-	c.clock++
-
-	victim := base
-	victimUse := c.use[base]
-	for w := 0; w < c.ways; w++ {
-		idx := base + w
-		if c.tags[idx] == tag {
-			c.use[idx] = c.clock
+	tag := tagOf(line)
+	if s := tag & (cacheMemoEntries - 1); c.memoTag[s] == tag {
+		if idx := c.memoIdx[s]; uint32(c.words[idx]) == tag {
+			c.words[idx] = uint64(c.tick())<<32 | uint64(tag)
 			return 0, false
 		}
-		if c.tags[idx] == 0 {
-			// Prefer an invalid way; mark it as the victim and stop
-			// considering occupied ways.
-			victim = idx
-			victimUse = 0
-			continue
+	}
+	if line == c.missLine && c.clock == c.missClock {
+		// Replay the victim recorded by the Lookup miss that caused this
+		// fill; nothing has touched the cache in between (the clock guard),
+		// so the rescan would reach the same way.
+		idx := c.missVictim
+		old := uint32(c.words[idx])
+		c.words[idx] = uint64(c.tick())<<32 | uint64(tag)
+		c.memoize(tag, int(idx))
+		c.missLine = noLine
+		if old != 0 {
+			c.evictions++
+			return uint64(old) - 1, true
 		}
-		if c.use[idx] < victimUse {
-			victim = idx
-			victimUse = c.use[idx]
+		return 0, false
+	}
+	return c.insertSlow(line, tag)
+}
+
+// insertSlow handles the non-memoized insert: refresh, fill an invalid way,
+// or evict the LRU way. One pass finds the present way, the last invalid
+// way and the LRU way together (victim selection is bit-compatible with the
+// original two-array scan: the last invalid way wins if any way is invalid,
+// otherwise the lowest use stamp; stamps are unique so ties cannot occur).
+func (c *Cache) insertSlow(line uint64, tag uint32) (evicted uint64, ok bool) {
+	return c.insertSlowAt(c.setBase(line), tag)
+}
+
+// insertSlowAt is insertSlow with the set base already resolved (InsertSpan
+// steps it incrementally).
+func (c *Cache) insertSlowAt(base int, tag uint32) (evicted uint64, ok bool) {
+	stamp := c.tick()
+
+	words := c.words[base : base+c.ways]
+	invalid, lru := -1, 0
+	lruUse := ^uint32(0)
+	for w := range words {
+		switch {
+		case uint32(words[w]) == tag:
+			words[w] = uint64(stamp)<<32 | uint64(tag)
+			c.memoize(tag, base+w)
+			return 0, false
+		case uint32(words[w]) == 0:
+			invalid = w
+		case invalid < 0 && uint32(words[w]>>32) < lruUse:
+			lru, lruUse = w, uint32(words[w]>>32)
 		}
 	}
-	old := c.tags[victim]
-	c.tags[victim] = tag
-	c.use[victim] = c.clock
-	if old != 0 {
-		c.evictions++
-		return old - 1, true
+	if invalid >= 0 {
+		words[invalid] = uint64(stamp)<<32 | uint64(tag)
+		c.memoize(tag, base+invalid)
+		return 0, false
 	}
-	return 0, false
+	old := uint32(words[lru])
+	words[lru] = uint64(stamp)<<32 | uint64(tag)
+	c.memoize(tag, base+lru)
+	c.evictions++
+	return uint64(old) - 1, true
+}
+
+// InsertSpan inserts n consecutive lines starting at first, exactly as n
+// successive Insert calls would (same per-cache operation order, so the
+// resulting state and statistics are identical). The stream prefetcher
+// re-installs its fill window on every stream hit; batching lets the span
+// share the tag arithmetic and step the set index instead of recomputing it,
+// and consecutive tags occupy consecutive memo slots, so the common
+// all-refresh case runs without a single set scan.
+func (c *Cache) InsertSpan(first uint64, n int) {
+	tag := tagOf(first+uint64(n-1)) - uint32(n-1) // bound-check once
+	base := c.setBase(first)
+	limit := len(c.words)
+	for i := 0; i < n; i++ {
+		if s := tag & (cacheMemoEntries - 1); c.memoTag[s] == tag {
+			if idx := c.memoIdx[s]; uint32(c.words[idx]) == tag {
+				c.words[idx] = uint64(c.tick())<<32 | uint64(tag)
+				tag++
+				if base += c.ways; base == limit {
+					base = 0
+				}
+				continue
+			}
+		}
+		c.insertSlowAt(base, tag)
+		tag++
+		if base += c.ways; base == limit {
+			base = 0
+		}
+	}
+}
+
+// memoize records the way that holds tag in the hit-way memo. A memo entry
+// is authoritative only because every reader re-validates it against the
+// backing word, so a memoized line that was since evicted or displaced
+// simply misses the memo.
+func (c *Cache) memoize(tag uint32, idx int) {
+	s := tag & (cacheMemoEntries - 1)
+	c.memoTag[s] = tag
+	c.memoIdx[s] = int32(idx)
 }
 
 // Invalidate removes line from the cache if present.
 func (c *Cache) Invalidate(line uint64) {
+	tag := tagOf(line)
 	base := c.setBase(line)
-	tag := line + 1
 	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == tag {
-			c.tags[base+w] = 0
-			c.use[base+w] = 0
+		if uint32(c.words[base+w]) == tag {
+			c.words[base+w] = 0
+			// Invalidation does not tick the clock, so the miss-victim memo
+			// must be voided explicitly.
+			c.missLine = noLine
 			return
 		}
 	}
@@ -129,11 +370,17 @@ func (c *Cache) Invalidate(line uint64) {
 
 // Reset invalidates all lines and clears statistics.
 func (c *Cache) Reset() {
-	for i := range c.tags {
-		c.tags[i] = 0
-		c.use[i] = 0
+	for i := range c.words {
+		c.words[i] = 0
 	}
 	c.clock = 0
+	for m := range c.memoTag {
+		c.memoTag[m] = 0
+		c.memoIdx[m] = 0
+	}
+	c.missLine = noLine
+	c.missClock = 0
+	c.missVictim = 0
 	c.hits = 0
 	c.misses = 0
 	c.evictions = 0

@@ -1,5 +1,7 @@
 package memsim
 
+import "math/bits"
+
 // Core simulates one hardware thread: it owns a private L1-D and L2, shares
 // the L3 and off-chip queue of its System, and accounts both compute
 // (abstract instructions) and memory time (cache hits, outstanding-miss
@@ -25,6 +27,7 @@ type Core struct {
 	// instrAcc (in units of 1/cpiDen cycles) so accounting stays exact.
 	cpiNum   uint64
 	cpiDen   uint64
+	cpiMagic uint64 // ceil(2^64/cpiDen), for division-free accounting
 	instrAcc uint64
 
 	smtSharers int
@@ -43,6 +46,14 @@ type Core struct {
 	streamRR     int
 	streamAhead  uint64
 	streamEnable bool
+	// lastStreamLine/lastStreamMiss memoize the previous streamCheck:
+	// repeated demand accesses to one line (several fields of one node) are
+	// the common case, and once a full tracker scan has proved no tracker
+	// expects that line, retraining is the only remaining effect — trackers
+	// are only ever written with line+1 values, so the scan result cannot
+	// change until a different line is accessed.
+	lastStreamLine uint64
+	lastStreamMiss bool
 
 	// offchipDemand is a peak-holding estimate of how many off-chip misses
 	// this thread keeps in flight. The shared off-chip queue (Fabric) uses
@@ -89,18 +100,40 @@ func (c *Core) streamCheck(line uint64) {
 	if !c.streamEnable {
 		return
 	}
+	if line == c.lastStreamLine && c.lastStreamMiss {
+		// The previous access to this same line scanned every tracker and
+		// matched none; training only writes line+1 values, so this access
+		// cannot match either. Retrain directly — bit-identical to the scan.
+		c.train(line)
+		return
+	}
+	c.lastStreamLine = line
 	for i := range c.streams {
 		if c.streams[i] != 0 && line == c.streams[i] {
-			for d := uint64(1); d <= c.streamAhead; d++ {
-				c.fill(line + d)
-			}
+			// Install the whole fill window per level. Equivalent to
+			// filling line by line: each cache sees the same operations in
+			// the same order, and the caches share no state.
+			ahead := int(c.streamAhead)
+			c.l1.InsertSpan(line+1, ahead)
+			c.l2.InsertSpan(line+1, ahead)
+			c.l3.InsertSpan(line+1, ahead)
 			c.streams[i] = line + 1
 			c.stats.StreamFills += c.streamAhead
+			c.lastStreamMiss = false
 			return
 		}
 	}
+	c.lastStreamMiss = true
+	c.train(line)
+}
+
+// train (re)trains the round-robin tracker to expect the line after the one
+// just demanded.
+func (c *Core) train(line uint64) {
 	c.streams[c.streamRR] = line + 1
-	c.streamRR = (c.streamRR + 1) % len(c.streams)
+	if c.streamRR++; c.streamRR == len(c.streams) {
+		c.streamRR = 0
+	}
 }
 
 // defaultOoOHide derives the per-access latency the out-of-order engine hides
@@ -135,6 +168,12 @@ func (c *Core) SetSMTSharers(n int) {
 	c.cpiDen = uint64(ipc*10 + 0.5)
 	if c.cpiDen == 0 {
 		c.cpiDen = 1
+	}
+	// cpiDen == 1 would wrap the magic to 0; Instr special-cases it anyway
+	// (division by one needs no division).
+	c.cpiMagic = 0
+	if c.cpiDen > 1 {
+		c.cpiMagic = ^uint64(0)/c.cpiDen + 1
 	}
 	c.instrAcc = 0
 	budget := c.cfg.L1MSHRs / n
@@ -189,6 +228,8 @@ func (c *Core) Reset() {
 	for i := range c.streams {
 		c.streams[i] = 0
 	}
+	c.lastStreamLine = 0
+	c.lastStreamMiss = false
 	c.stats = Stats{}
 	c.cycle = 0
 	c.instrAcc = 0
@@ -204,14 +245,29 @@ func (c *Core) L2() *Cache { return c.l2 }
 func (c *Core) MSHROutstanding() int { return c.mshr.Outstanding() }
 
 // Instr charges n abstract instructions of compute. Cycles advance at the
-// core's effective issue width.
+// core's effective issue width. Instr runs for every simulated instruction
+// charge, so whole-cycle extraction avoids the hardware divide: a Lemire
+// round-up multiply is exact for accumulators below 2^32 (the accumulator
+// stays below cpiDen between calls, so only an absurd single charge could
+// exceed that; the slow path keeps it correct anyway).
 func (c *Core) Instr(n int) {
 	if n <= 0 {
 		return
 	}
 	c.stats.Instructions += uint64(n)
 	c.instrAcc += uint64(n) * c.cpiNum
-	adv := c.instrAcc / c.cpiDen
+	if c.instrAcc < c.cpiDen {
+		return
+	}
+	var adv uint64
+	switch {
+	case c.cpiDen == 1:
+		adv = c.instrAcc
+	case c.instrAcc < 1<<32:
+		adv, _ = bits.Mul64(c.cpiMagic, c.instrAcc)
+	default:
+		adv = c.instrAcc / c.cpiDen
+	}
 	c.instrAcc -= adv * c.cpiDen
 	c.cycle += adv
 }
@@ -243,8 +299,13 @@ func (c *Core) fill(line uint64) {
 	c.l3.Insert(line)
 }
 
-// drainMSHRs retires every outstanding miss whose data has arrived.
+// drainMSHRs retires every outstanding miss whose data has arrived. The
+// guard is duplicated from Drain so the no-op case — nothing outstanding, or
+// nothing due yet — inlines into every demand access without a call.
 func (c *Core) drainMSHRs() {
+	if c.mshr.outstanding == 0 || c.cycle < c.mshr.minReady {
+		return
+	}
 	c.mshr.Drain(c.cycle, c.fill)
 }
 
@@ -327,7 +388,7 @@ func (c *Core) demandLine(line uint64) {
 			c.advance(c.hidden(wait))
 			// The data has now (logically) arrived even if hiding
 			// shortened the visible stall.
-			e.ready = c.cycle
+			c.mshr.Expedite(e, c.cycle)
 		}
 		c.drainMSHRs()
 		if !c.l1.Contains(line) {
@@ -366,6 +427,11 @@ func (c *Core) accessLines(a Addr, size int) {
 	}
 	first := Line(a)
 	last := Line(a + Addr(size) - 1)
+	if first == last {
+		// Node fields and tuples fit one cache line; skip the loop set-up.
+		c.demandLine(first)
+		return
+	}
 	for line := first; line <= last; line++ {
 		c.demandLine(line)
 	}
@@ -406,6 +472,11 @@ func (c *Core) PrefetchSpan(a Addr, size int) {
 	}
 	first := Line(a)
 	last := Line(a + Addr(size) - 1)
+	if first == last {
+		// Single-line nodes are the common case for every operator.
+		c.Prefetch(Addr(first << lineShift))
+		return
+	}
 	for line := first; line <= last; line++ {
 		c.Prefetch(Addr(line << lineShift))
 	}

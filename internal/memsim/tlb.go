@@ -15,9 +15,23 @@ type TLB struct {
 	// lastPage caches the most recent translation; with large pages almost
 	// every access hits it, which keeps the simulator fast.
 	lastPage uint64
+	// memoPage/memoIdx extend lastPage to the last few distinct pages,
+	// direct-mapped by the page's low bits: operators alternate between a
+	// handful of pages (input relation, index nodes, output buffer), which
+	// defeats a single-entry memo. A memo hit replays exactly the effects of
+	// a scan hit (clock tick, use stamp, hit count), and every entry is
+	// validated against the backing array before use, so evictions can never
+	// serve a stale translation.
+	memoPage [tlbMemoEntries]uint64
+	memoIdx  [tlbMemoEntries]int
 	misses   uint64
 	hits     uint64
 }
+
+// tlbMemoEntries is the recent-translation memo size (a power of two):
+// enough for the pages an operator stage touches per lookup (tuple, node,
+// output, spill) with headroom against low-bit collisions.
+const tlbMemoEntries = 8
 
 // NewTLB constructs a TLB from its configuration; cfg must have been
 // validated (power-of-two page size, positive entry count).
@@ -38,12 +52,31 @@ func NewTLB(cfg TLBConfig) *TLB {
 func (t *TLB) Penalty() uint64 { return t.penalty }
 
 // Translate looks up the page containing a, installing it on a miss, and
-// reports whether the access hit.
+// reports whether the access hit. The body is split so the last-page fast
+// path — which serves almost every access under large pages — inlines into
+// Core.Load/Store.
 func (t *TLB) Translate(a Addr) bool {
 	page := uint64(a)>>t.pageShift + 1
 	if page == t.lastPage {
 		t.hits++
 		return true
+	}
+	return t.translateSlow(page)
+}
+
+// translateSlow serves translations that missed the single-page fast path:
+// first from the recent-translation memo, then by scanning the entries,
+// installing the page on a miss.
+func (t *TLB) translateSlow(page uint64) bool {
+	if s := page & (tlbMemoEntries - 1); t.memoPage[s] == page {
+		i := t.memoIdx[s]
+		if t.pages[i] == page {
+			t.clock++
+			t.use[i] = t.clock
+			t.hits++
+			t.lastPage = page
+			return true
+		}
 	}
 	t.clock++
 	victim := 0
@@ -53,6 +86,7 @@ func (t *TLB) Translate(a Addr) bool {
 			t.use[i] = t.clock
 			t.hits++
 			t.lastPage = page
+			t.memoize(page, i)
 			return true
 		}
 		if t.pages[i] == 0 {
@@ -68,8 +102,16 @@ func (t *TLB) Translate(a Addr) bool {
 	t.pages[victim] = page
 	t.use[victim] = t.clock
 	t.lastPage = page
+	t.memoize(page, victim)
 	t.misses++
 	return false
+}
+
+// memoize records where page lives for the recent-translation memo.
+func (t *TLB) memoize(page uint64, idx int) {
+	s := page & (tlbMemoEntries - 1)
+	t.memoPage[s] = page
+	t.memoIdx[s] = idx
 }
 
 // Hits returns the number of translations that hit.
@@ -86,6 +128,10 @@ func (t *TLB) Reset() {
 	}
 	t.clock = 0
 	t.lastPage = 0
+	for i := range t.memoPage {
+		t.memoPage[i] = 0
+		t.memoIdx[i] = 0
+	}
 	t.hits = 0
 	t.misses = 0
 }

@@ -72,18 +72,19 @@ func (m *BSTSearchMachine) Stage(c *memsim.Core, s *BSTState, stage int) exec.Ou
 		panic("ops: BSTSearchMachine has a single descending stage")
 	}
 	c.Load(s.ptr, bst.NodeBytes)
+	node := m.Tree.Node(s.ptr)
 	c.Instr(CostCompare)
-	nodeKey := m.Tree.Key(s.ptr)
+	nodeKey := node.Key()
 	if nodeKey == s.key {
-		m.Out.Emit(c, s.idx, s.key, m.Tree.Payload(s.ptr), s.payload)
+		m.Out.Emit(c, s.idx, s.key, node.Payload(), s.payload)
 		return exec.Outcome{Done: true}
 	}
 	c.Instr(CostDescend)
 	var child arena.Addr
 	if s.key < nodeKey {
-		child = m.Tree.Left(s.ptr)
+		child = node.Left()
 	} else {
-		child = m.Tree.Right(s.ptr)
+		child = node.Right()
 	}
 	if child == 0 {
 		return exec.Outcome{Done: true}

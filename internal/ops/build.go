@@ -91,7 +91,8 @@ func (m *BuildMachine) Stage(c *memsim.Core, s *BuildState, stage int) exec.Outc
 // of header and first overflow node found no room, or (from the header only)
 // advances to the first overflow node while keeping the bucket latch held.
 func (m *BuildMachine) insertOrAdvance(c *memsim.Core, s *BuildState, walkStage int) exec.Outcome {
-	if m.Table.NodeCount(s.ptr) < ht.TuplesPerNode {
+	ref := m.Table.Node(s.ptr)
+	if ref.Count() < ht.TuplesPerNode {
 		c.Instr(CostInsertTuple)
 		m.Table.AppendTuple(s.ptr, s.key, s.payload)
 		c.Store(s.ptr, ht.NodeBytes)
@@ -99,7 +100,7 @@ func (m *BuildMachine) insertOrAdvance(c *memsim.Core, s *BuildState, walkStage 
 		m.Table.Unlatch(s.bucket)
 		return exec.Outcome{Done: true}
 	}
-	next := m.Table.NodeNext(s.ptr)
+	next := ref.Next()
 	c.Instr(1)
 	if s.ptr == s.bucket && next != 0 {
 		// The header is full: examine the first overflow node.

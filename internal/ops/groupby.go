@@ -99,7 +99,8 @@ func (m *GroupByMachine) Stage(c *memsim.Core, s *GroupByState, stage int) exec.
 // empty, move to the aggregate-update stage on a key match, follow the chain
 // otherwise, extending it when the key is new.
 func (m *GroupByMachine) matchOrAdvance(c *memsim.Core, s *GroupByState) exec.Outcome {
-	if !m.Table.NodeUsed(s.ptr) {
+	node := m.Table.Node(s.ptr)
+	if !node.Used() {
 		c.Instr(CostInsertTuple)
 		m.Table.InitGroup(s.ptr, s.key, s.payload)
 		c.Store(s.ptr, ht.NodeBytes)
@@ -108,13 +109,13 @@ func (m *GroupByMachine) matchOrAdvance(c *memsim.Core, s *GroupByState) exec.Ou
 		return exec.Outcome{Done: true}
 	}
 	c.Instr(CostCompare)
-	if m.Table.NodeKey(s.ptr) == s.key {
+	if node.Key() == s.key {
 		// The aggregate fields live in the node just loaded; the update is
 		// a separate code stage (as in Table 1), executed with the latch
 		// still held.
 		return exec.Outcome{NextStage: 3}
 	}
-	next := m.Table.NodeNext(s.ptr)
+	next := node.Next()
 	c.Instr(1)
 	if next == 0 {
 		c.Instr(CostAllocNode)

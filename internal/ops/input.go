@@ -1,6 +1,8 @@
 package ops
 
 import (
+	"encoding/binary"
+
 	"amac/internal/arena"
 	"amac/internal/memsim"
 	"amac/internal/relation"
@@ -25,9 +27,9 @@ func NewInput(a *arena.Arena, rel *relation.Relation) *Input {
 	}
 	in.base = a.AllocSpan(uint64(in.n) * relation.TupleBytes)
 	for i, tup := range rel.Tuples {
-		addr := in.TupleAddr(i)
-		a.WriteU64(addr, tup.Key)
-		a.WriteU64(addr+8, tup.Payload)
+		b := a.Bytes(in.TupleAddr(i), relation.TupleBytes)
+		binary.LittleEndian.PutUint64(b, tup.Key)
+		binary.LittleEndian.PutUint64(b[8:], tup.Payload)
 	}
 	return in
 }
@@ -47,16 +49,17 @@ func (in *Input) TupleAddr(i int) arena.Addr {
 }
 
 // Read loads tuple i through the core (charged) and returns its key and
-// payload.
+// payload, decoding both fields from one zero-copy view.
 func (in *Input) Read(c *memsim.Core, i int) (key, payload uint64) {
 	addr := in.TupleAddr(i)
 	c.Load(addr, relation.TupleBytes)
 	c.Instr(CostTupleFetch)
-	return in.a.ReadU64(addr), in.a.ReadU64(addr + 8)
+	b := in.a.Bytes(addr, relation.TupleBytes)
+	return binary.LittleEndian.Uint64(b), binary.LittleEndian.Uint64(b[8:])
 }
 
 // ReadRaw returns tuple i without charging simulator time.
 func (in *Input) ReadRaw(i int) (key, payload uint64) {
-	addr := in.TupleAddr(i)
-	return in.a.ReadU64(addr), in.a.ReadU64(addr + 8)
+	b := in.a.Bytes(in.TupleAddr(i), relation.TupleBytes)
+	return binary.LittleEndian.Uint64(b), binary.LittleEndian.Uint64(b[8:])
 }

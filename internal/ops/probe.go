@@ -87,17 +87,18 @@ func (m *ProbeMachine) Stage(c *memsim.Core, s *ProbeState, stage int) exec.Outc
 		panic("ops: ProbeMachine has a single chasing stage")
 	}
 	c.Load(s.ptr, ht.NodeBytes)
-	cnt := m.Table.NodeCount(s.ptr)
+	node := m.Table.Node(s.ptr)
+	cnt := node.Count()
 	for slot := 0; slot < cnt; slot++ {
 		c.Instr(CostCompare)
-		if m.Table.NodeKey(s.ptr, slot) == s.key {
-			m.Out.Emit(c, s.idx, s.key, m.Table.NodePayload(s.ptr, slot), s.payload)
+		if node.Key(slot) == s.key {
+			m.Out.Emit(c, s.idx, s.key, node.Payload(slot), s.payload)
 			if m.EarlyExit {
 				return exec.Outcome{Done: true}
 			}
 		}
 	}
-	next := m.Table.NodeNext(s.ptr)
+	next := node.Next()
 	c.Instr(1)
 	if next == 0 {
 		return exec.Outcome{Done: true}

@@ -80,9 +80,10 @@ func (m *SkipListSearchMachine) Init(c *memsim.Core, s *SkipListSearchState, i i
 // non-nil successor to examine, returning its outcome. The boolean result
 // reports whether a candidate was found.
 func (m *SkipListSearchMachine) descend(c *memsim.Core, s *SkipListSearchState) (exec.Outcome, bool) {
+	tower := m.List.Tower(s.x, s.lvl)
 	for {
 		c.Instr(CostDescend)
-		cand := m.List.Next(s.x, s.lvl)
+		cand := tower.Next(s.lvl)
 		if cand != 0 {
 			s.cand = cand
 			return exec.Outcome{NextStage: 1, Prefetch: cand, PrefetchBytes: slNodeSpan}, true
@@ -102,11 +103,12 @@ func (m *SkipListSearchMachine) Stage(c *memsim.Core, s *SkipListSearchState, st
 		panic("ops: SkipListSearchMachine has a single traversal stage")
 	}
 	c.Load(s.cand, slNodeSpan)
+	node := m.List.Node(s.cand)
 	c.Instr(CostCompare)
-	ck := m.List.NodeKey(s.cand)
+	ck := node.Key()
 	switch {
 	case ck == s.key:
-		m.Out.Emit(c, s.idx, s.key, m.List.NodePayload(s.cand), s.payload)
+		m.Out.Emit(c, s.idx, s.key, node.Payload(), s.payload)
 		return exec.Outcome{Done: true}
 	case ck < s.key:
 		// Advance along the current level.
@@ -145,6 +147,17 @@ type SkipListInsertMachine struct {
 	// Restarts counts splices that had to re-run the search because a
 	// concurrent in-flight insert invalidated their predecessors.
 	Restarts int
+
+	// predsPool recycles predecessor vectors: a lookup takes one at Init and
+	// returns it when it completes, so a run allocates O(in-flight) vectors
+	// instead of one per input tuple. Safe because a lookup reaches Done
+	// exactly once, and an engine that copied a state (the SPP bail-out path)
+	// drives exactly one of the copies to completion while the abandoned
+	// alias is overwritten by the next Init.
+	predsPool [][]arena.Addr
+	// scratch is the splice stage's latch-acquisition list; its lifetime is
+	// a single spliceStage call, so one buffer serves every lookup.
+	scratch []arena.Addr
 }
 
 // NewSkipListInsertMachine prepares an insert machine over the input,
@@ -186,12 +199,32 @@ func (m *SkipListInsertMachine) Init(c *memsim.Core, s *SkipListInsertState, i i
 	s.idx = i
 	s.key = key
 	s.payload = payload
-	// A fresh predecessor vector per lookup: engines may copy states when
-	// bailing lookups out, so the vector must not be shared across lookups.
-	s.preds = make([]arena.Addr, m.List.MaxLevel())
+	// A vector not shared with any live lookup: engines may copy states when
+	// bailing lookups out, so vectors are handed out by the pool and only
+	// returned when their lookup completes.
+	s.preds = m.takePreds()
 	m.restartSearch(c, s)
 	out, _ := m.descend(c, s)
 	return out
+}
+
+// takePreds pops a predecessor vector from the pool or allocates one.
+// restartSearch overwrites every element, so recycled content is never read.
+func (m *SkipListInsertMachine) takePreds() []arena.Addr {
+	if n := len(m.predsPool); n > 0 {
+		p := m.predsPool[n-1]
+		m.predsPool = m.predsPool[:n-1]
+		return p
+	}
+	return make([]arena.Addr, m.List.MaxLevel())
+}
+
+// putPreds returns a completed lookup's predecessor vector to the pool.
+func (m *SkipListInsertMachine) putPreds(s *SkipListInsertState) {
+	if s.preds != nil {
+		m.predsPool = append(m.predsPool, s.preds)
+		s.preds = nil
+	}
 }
 
 // restartSearch positions the lookup at the head, as on entry and after a
@@ -209,9 +242,10 @@ func (m *SkipListInsertMachine) restartSearch(c *memsim.Core, s *SkipListInsertS
 // predecessor at every level it leaves, and when the bottom level has been
 // fully resolved it proceeds to the splice stage instead of terminating.
 func (m *SkipListInsertMachine) descend(c *memsim.Core, s *SkipListInsertState) (exec.Outcome, bool) {
+	tower := m.List.Tower(s.x, s.lvl)
 	for {
 		c.Instr(CostDescend)
-		cand := m.List.Next(s.x, s.lvl)
+		cand := tower.Next(s.lvl)
 		if cand != 0 {
 			s.cand = cand
 			return exec.Outcome{NextStage: 1, Prefetch: cand, PrefetchBytes: slNodeSpan}, true
@@ -241,10 +275,11 @@ func (m *SkipListInsertMachine) Stage(c *memsim.Core, s *SkipListInsertState, st
 func (m *SkipListInsertMachine) searchStage(c *memsim.Core, s *SkipListInsertState) exec.Outcome {
 	c.Load(s.cand, slNodeSpan)
 	c.Instr(CostCompare)
-	ck := m.List.NodeKey(s.cand)
+	ck := m.List.Node(s.cand).Key()
 	switch {
 	case ck == s.key:
 		// Key already present: nothing to insert.
+		m.putPreds(s)
 		return exec.Outcome{Done: true}
 	case ck < s.key:
 		s.x = s.cand
@@ -268,12 +303,13 @@ func (m *SkipListInsertMachine) spliceStage(c *memsim.Core, s *SkipListInsertSta
 	// first. If another in-flight insert has spliced a node between a
 	// predecessor and our key, the collected vector is stale and the search
 	// must be re-run (the concurrent list's retry path).
-	acquired := make([]arena.Addr, 0, level)
+	acquired := m.scratch[:0]
 	release := func() {
 		for _, p := range acquired {
 			c.Instr(CostLatchRelease)
 			list.Unlatch(p)
 		}
+		m.scratch = acquired[:0]
 	}
 	for l := 0; l < level; l++ {
 		pred := s.preds[l]
@@ -285,6 +321,7 @@ func (m *SkipListInsertMachine) spliceStage(c *memsim.Core, s *SkipListInsertSta
 			sk := list.NodeKey(succ)
 			if sk == s.key {
 				release()
+				m.putPreds(s)
 				return exec.Outcome{Done: true}
 			}
 			if sk < s.key {
@@ -320,6 +357,7 @@ func (m *SkipListInsertMachine) spliceStage(c *memsim.Core, s *SkipListInsertSta
 	release()
 	list.NoteInsert(level)
 	m.Inserted++
+	m.putPreds(s)
 	return exec.Outcome{Done: true}
 }
 

@@ -9,6 +9,7 @@
 package skiplist
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"amac/internal/arena"
@@ -41,6 +42,10 @@ type List struct {
 	maxLevel int
 	level    int // highest level currently in use (1-based)
 	count    int
+
+	// predsScratch is InsertRaw's predecessor vector, reused across raw
+	// inserts so pre-building a large list does not allocate per key.
+	predsScratch []arena.Addr
 }
 
 // New returns an empty list with the given maximum tower height.
@@ -77,9 +82,10 @@ func (l *List) NewNode(key, payload uint64, level int) arena.Addr {
 		panic(fmt.Sprintf("skiplist: node level %d out of range [1,%d]", level, l.maxLevel))
 	}
 	n := l.a.Alloc(NodeBytes(level), memsim.LineSize)
-	l.a.WriteU8(n+offLevel, uint8(level))
-	l.a.WriteU64(n+offKey, key)
-	l.a.WriteU64(n+offPayload, payload)
+	b := l.a.Bytes(n, headerBytes)
+	b[offLevel] = uint8(level)
+	binary.LittleEndian.PutUint64(b[offKey:], key)
+	binary.LittleEndian.PutUint64(b[offPayload:], payload)
 	return n
 }
 
@@ -98,6 +104,35 @@ func (l *List) NodeLevel(n arena.Addr) int { return int(l.a.ReadU8(n + offLevel)
 // Next returns node n's successor at the given level (0-based), or 0.
 func (l *List) Next(n arena.Addr, level int) arena.Addr {
 	return l.a.ReadAddr(n + offTower + arena.Addr(8*level))
+}
+
+// TowerRef is a zero-copy view of a node's header plus tower levels 0..top,
+// aliasing the arena. A descent reads several tower levels of one node; the
+// view pays the arena bounds check once for all of them.
+type TowerRef []byte
+
+// Tower returns the view of node n covering tower levels up to top
+// (0-based). The caller must be standing on n at a level it actually has,
+// which guarantees the span lies inside the node's allocation.
+func (l *List) Tower(n arena.Addr, top int) TowerRef {
+	return TowerRef(l.a.Bytes(n, headerBytes+8*(top+1)))
+}
+
+// Node returns the header-only view of node n (key and payload; no tower
+// levels — TowerRef.Next on it is out of range).
+func (l *List) Node(n arena.Addr) TowerRef {
+	return TowerRef(l.a.Bytes(n, headerBytes))
+}
+
+// Key returns the node's key through the view.
+func (t TowerRef) Key() uint64 { return binary.LittleEndian.Uint64(t[offKey:]) }
+
+// Payload returns the node's payload through the view.
+func (t TowerRef) Payload() uint64 { return binary.LittleEndian.Uint64(t[offPayload:]) }
+
+// Next returns the successor at the given level through the view.
+func (t TowerRef) Next(level int) arena.Addr {
+	return arena.Addr(binary.LittleEndian.Uint64(t[offTower+8*level:]))
 }
 
 // SetNext updates node n's successor at the given level (0-based).
@@ -147,15 +182,20 @@ func (l *List) NoteInsert(level int) {
 // the key already exists. It is used to pre-build lists for search
 // experiments and as the reference for validating engine-driven inserts.
 func (l *List) InsertRaw(key, payload uint64, rng *xrand.Rand) bool {
-	preds := make([]arena.Addr, l.maxLevel)
+	if l.predsScratch == nil {
+		l.predsScratch = make([]arena.Addr, l.maxLevel)
+	}
+	preds := l.predsScratch
 	x := l.head
+	xt := l.Tower(x, l.level-1)
 	for lvl := l.level - 1; lvl >= 0; lvl-- {
 		for {
-			next := l.Next(x, lvl)
-			if next == 0 || l.NodeKey(next) >= key {
+			next := xt.Next(lvl)
+			if next == 0 || l.Node(next).Key() >= key {
 				break
 			}
 			x = next
+			xt = l.Tower(x, lvl)
 		}
 		preds[lvl] = x
 	}
@@ -180,18 +220,22 @@ func (l *List) InsertRaw(key, payload uint64, rng *xrand.Rand) bool {
 // charging simulator time.
 func (l *List) SearchRaw(key uint64) (uint64, bool) {
 	x := l.head
+	xt := l.Tower(x, l.level-1)
 	for lvl := l.level - 1; lvl >= 0; lvl-- {
 		for {
-			next := l.Next(x, lvl)
-			if next == 0 || l.NodeKey(next) >= key {
+			next := xt.Next(lvl)
+			if next == 0 || l.Node(next).Key() >= key {
 				break
 			}
 			x = next
+			xt = l.Tower(x, lvl)
 		}
 	}
-	cand := l.Next(x, 0)
-	if cand != 0 && l.NodeKey(cand) == key {
-		return l.NodePayload(cand), true
+	cand := xt.Next(0)
+	if cand != 0 {
+		if node := l.Node(cand); node.Key() == key {
+			return node.Payload(), true
+		}
 	}
 	return 0, false
 }
