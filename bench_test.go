@@ -155,6 +155,69 @@ func BenchmarkSkipList(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Serving/streaming benchmarks: wall-clock cost of one open-loop serving run
+// (queue-fed streaming engine on a recycled socket model) and of a fully
+// backlogged stream replay, per technique. These cover the serving fast
+// path: ring-buffer admission, pooled stream state, system recycling.
+// ---------------------------------------------------------------------------
+
+func benchmarkServe(b *testing.B, tech amac.Technique, arrivals []uint64, qcap int, policy amac.QueuePolicy, join *amac.HashJoin, out *amac.Output) {
+	b.ReportAllocs()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		out.Reset()
+		res := amac.RunService(amac.ServiceOptions{
+			Hardware:  amac.XeonX5670(),
+			Technique: tech,
+			Window:    10,
+			QueueCap:  qcap,
+			Policy:    policy,
+		}, []amac.ServiceWorker[amac.ProbeState]{{
+			Machine:  join.ProbeMachine(out, true),
+			Arrivals: arrivals,
+		}})
+		cycles = res.ElapsedCycles()
+	}
+	b.ReportMetric(float64(cycles), "simcycles/run")
+}
+
+func serveBenchJoin(b *testing.B) (*amac.HashJoin, *amac.Output) {
+	build, probe, err := amac.BuildJoin(amac.JoinSpec{BuildSize: 1 << 13, ProbeSize: 1 << 13, ZipfBuild: 1.0, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	join := amac.NewHashJoin(build, probe)
+	join.PrebuildRaw()
+	return join, amac.NewOutput(join.Arena, false)
+}
+
+func BenchmarkServeRun(b *testing.B) {
+	join, out := serveBenchJoin(b)
+	arrivals := amac.Poisson{MeanPeriod: 260}.Schedule(1<<13, 7)
+	for _, tech := range amac.Techniques {
+		b.Run(tech.String(), func(b *testing.B) {
+			benchmarkServe(b, tech, arrivals, 0, amac.QueueBlock, join, out)
+		})
+	}
+}
+
+func BenchmarkStreamBacklog(b *testing.B) {
+	join, out := serveBenchJoin(b)
+	backlog := make([]uint64, 1<<13) // everything due at cycle 0
+	for _, tech := range amac.Techniques {
+		b.Run(tech.String(), func(b *testing.B) {
+			benchmarkServe(b, tech, backlog, 0, amac.QueueBlock, join, out)
+		})
+	}
+}
+
+func BenchmarkServeDrop(b *testing.B) {
+	join, out := serveBenchJoin(b)
+	bursty := amac.Bursty{Period: 60, BurstLen: 128, Off: 24000}.Schedule(1<<13, 11)
+	benchmarkServe(b, amac.AMAC, bursty, 64, amac.QueueDrop, join, out)
+}
+
 // BenchmarkSimulatorLoad measures the raw cost of the memory-hierarchy model
 // itself (the substrate every other number is built on).
 func BenchmarkSimulatorLoad(b *testing.B) {

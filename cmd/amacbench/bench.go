@@ -66,7 +66,9 @@ func measure(name string, f func() uint64) benchEntry {
 // runBenchSuite executes the benchmark suite — one entry per technique
 // micro-benchmark (with simulated cycles) and one per registered experiment
 // (wall time of the full artifact) — and writes the JSON document to path.
-func runBenchSuite(path string, cfg experiments.Config, scale string, seed uint64) error {
+// A non-empty gatePath additionally compares the run against that committed
+// baseline and errors on gross regressions (see checkBenchGate).
+func runBenchSuite(path string, cfg experiments.Config, scale string, seed uint64, gatePath string) error {
 	var out benchFile
 	out.GeneratedBy = "amacbench -bench"
 	out.GoVersion = runtime.Version()
@@ -127,6 +129,10 @@ func runBenchSuite(path string, cfg experiments.Config, scale string, seed uint6
 		}))
 	}
 
+	if err := servingBenchmarks(&out); err != nil {
+		return err
+	}
+
 	// Experiment artifacts: wall time to regenerate each one end to end at
 	// the requested scale (workload construction amortizes across
 	// iterations through the experiments package's workload cache, exactly
@@ -150,5 +156,194 @@ func runBenchSuite(path string, cfg experiments.Config, scale string, seed uint6
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "amacbench: wrote %d benchmark entries to %s\n", len(out.Benchmarks), path)
+	if gatePath != "" {
+		return checkBenchGate(out, gatePath)
+	}
+	return nil
+}
+
+// gateRatio is the regression threshold of the CI bench gate: a benchmark
+// may not run more than this factor slower than the committed baseline.
+// Generous on purpose — CI runners differ from the recording host, and the
+// gate is meant to catch gross bit-rot (an accidentally quadratic path, a
+// lost pool), not single-digit noise.
+const gateRatio = 3.0
+
+// checkBenchGate compares the just-measured suite against a committed
+// baseline file and errors out if any shared benchmark regressed by more
+// than gateRatio in ns/op. The baseline may be a plain -bench output file or
+// a BENCH_pr*.json record holding one under "amacbench_bench".
+func checkBenchGate(current benchFile, baselinePath string) error {
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var wrapped struct {
+		AmacbenchBench *benchFile `json:"amacbench_bench"`
+	}
+	var base benchFile
+	if err := json.Unmarshal(buf, &wrapped); err == nil && wrapped.AmacbenchBench != nil {
+		base = *wrapped.AmacbenchBench
+	} else if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("bench gate: cannot parse baseline %s: %v", baselinePath, err)
+	}
+
+	if base.Scale != "" && base.Scale != current.Scale {
+		return fmt.Errorf("bench gate: baseline %s was recorded at scale %q but this run used %q; ns/op is only comparable at the same scale",
+			baselinePath, base.Scale, current.Scale)
+	}
+
+	baseline := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b.NsPerOp
+	}
+	var failures []string
+	shared := 0
+	for _, b := range current.Benchmarks {
+		want, ok := baseline[b.Name]
+		if !ok || want <= 0 {
+			continue
+		}
+		shared++
+		if b.NsPerOp > gateRatio*want {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.1fx > %.1fx)",
+				b.Name, b.NsPerOp, want, b.NsPerOp/want, gateRatio))
+		}
+	}
+	if shared == 0 {
+		return fmt.Errorf("bench gate: baseline %s shares no benchmark names with this run", baselinePath)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "amacbench: bench gate FAIL:", f)
+		}
+		return fmt.Errorf("bench gate: %d of %d shared benchmarks regressed more than %.0fx", len(failures), shared, gateRatio)
+	}
+	fmt.Fprintf(os.Stderr, "amacbench: bench gate OK (%d shared benchmarks within %.0fx of %s)\n", shared, gateRatio, baselinePath)
+	return nil
+}
+
+// chainState/chainMachine form a compute-only operator for the
+// serving-machinery benchmarks: each lookup runs `stages` code stages that
+// charge one abstract instruction and touch no simulated memory.
+type chainState struct{ left int }
+
+type chainMachine struct{ n, stages int }
+
+func (m chainMachine) NumLookups() int        { return m.n }
+func (m chainMachine) ProvisionedStages() int { return m.stages }
+
+func (m chainMachine) Init(c *amac.Core, s *chainState, i int) amac.Outcome {
+	c.Instr(1)
+	s.left = m.stages - 1
+	if s.left <= 0 {
+		return amac.Outcome{Done: true}
+	}
+	return amac.Outcome{NextStage: 1}
+}
+
+func (m chainMachine) Stage(c *amac.Core, s *chainState, stage int) amac.Outcome {
+	c.Instr(1)
+	if s.left--; s.left <= 0 {
+		return amac.Outcome{Done: true}
+	}
+	return amac.Outcome{NextStage: stage}
+}
+
+// Serving benchmark workload knobs. The join is LLC-resident and skewed
+// (long divergent chains, the serveN shape); the arrival period is chosen so
+// the queue stays busy without unbounded growth for AMAC.
+const (
+	srvBenchSize   = 1 << 13
+	srvBenchSeed   = 3
+	srvBenchPeriod = 260
+)
+
+// servingBenchmarks appends the serving/streaming entries: one full
+// open-loop serving run per technique (Poisson arrivals near capacity) and
+// one fully backlogged stream replay per technique (every request due at
+// cycle 0, so the run measures the steady-state serving fast path — queue
+// admit/pop, stream scheduling, completion accounting — with no idle time).
+func servingBenchmarks(out *benchFile) error {
+	build, probe, err := amac.BuildJoin(amac.JoinSpec{BuildSize: srvBenchSize, ProbeSize: srvBenchSize, ZipfBuild: 1.0, Seed: srvBenchSeed})
+	if err != nil {
+		return err
+	}
+	join := amac.NewHashJoin(build, probe)
+	join.PrebuildRaw()
+	srvOut := amac.NewOutput(join.Arena, false)
+	arrivals := amac.Poisson{MeanPeriod: srvBenchPeriod}.Schedule(srvBenchSize, 7)
+	backlog := make([]uint64, srvBenchSize) // everything due at cycle 0
+
+	serveOnce := func(tech amac.Technique, arr []uint64) uint64 {
+		srvOut.Reset()
+		res := amac.RunService(amac.ServiceOptions{
+			Hardware:  amac.XeonX5670(),
+			Technique: tech,
+			Window:    10,
+		}, []amac.ServiceWorker[amac.ProbeState]{{
+			Machine:  join.ProbeMachine(srvOut, true),
+			Arrivals: arr,
+		}})
+		return res.ElapsedCycles()
+	}
+
+	for _, tech := range amac.Techniques {
+		tech := tech
+		out.Benchmarks = append(out.Benchmarks, measure("serve-run/"+tech.String(), func() uint64 {
+			return serveOnce(tech, arrivals)
+		}))
+	}
+	for _, tech := range amac.Techniques {
+		tech := tech
+		out.Benchmarks = append(out.Benchmarks, measure("stream-backlog/"+tech.String(), func() uint64 {
+			return serveOnce(tech, backlog)
+		}))
+	}
+	// Serving-machinery benchmarks: a compute-only chain machine (no memory
+	// accesses, so the memory-hierarchy model contributes almost nothing)
+	// streamed from a fully backlogged queue. What remains is exactly the
+	// serving fast path — ring admit/pop, engine slot scheduling, pooled
+	// per-request state, recycled socket models, latency recording — which
+	// is what this suite's serving entries exist to track.
+	mach := chainMachine{n: 1 << 15, stages: 4}
+	machBacklog := make([]uint64, mach.n)
+	for _, tech := range amac.Techniques {
+		tech := tech
+		var machOut uint64
+		out.Benchmarks = append(out.Benchmarks, measure("serve-machinery/"+tech.String(), func() uint64 {
+			res := amac.RunService(amac.ServiceOptions{
+				Hardware:  amac.XeonX5670(),
+				Technique: tech,
+				Window:    10,
+			}, []amac.ServiceWorker[chainState]{{
+				Machine:  mach,
+				Arrivals: machBacklog,
+			}})
+			machOut = res.Latency.Completed
+			return res.ElapsedCycles()
+		}))
+		if machOut != uint64(mach.n) {
+			return fmt.Errorf("serve-machinery/%s: completed %d of %d requests", tech, machOut, mach.n)
+		}
+	}
+
+	// Bounded drop queue under bursty overload: exercises the admission
+	// ring's wrap-around and the drop accounting.
+	bursty := amac.Bursty{Period: 60, BurstLen: 128, Off: 24000}.Schedule(srvBenchSize, 11)
+	out.Benchmarks = append(out.Benchmarks, measure("serve-drop/AMAC", func() uint64 {
+		srvOut.Reset()
+		res := amac.RunService(amac.ServiceOptions{
+			Hardware:  amac.XeonX5670(),
+			Technique: amac.AMAC,
+			Window:    10,
+			QueueCap:  64,
+			Policy:    amac.QueueDrop,
+		}, []amac.ServiceWorker[amac.ProbeState]{{
+			Machine:  join.ProbeMachine(srvOut, true),
+			Arrivals: bursty,
+		}})
+		return res.ElapsedCycles()
+	}))
 	return nil
 }

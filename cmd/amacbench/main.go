@@ -9,11 +9,13 @@
 //	amacbench -exp all                  # regenerate everything
 //	amacbench -exp fig7 -scale tiny     # quick smoke run
 //	amacbench -exp fig6 -window 15      # override the in-flight lookups
+//	amacbench -exp fig6 -parallel 8     # fan sweep points over 8 host cores (same output)
 //	amacbench -exp scaleN -workers 8    # sweep the parallel engine up to 8 workers
 //	amacbench -exp serveN               # streaming service: arrival-rate sweep
 //	amacbench -exp serveN -arrivals bursty -qcap 64  # bursty traffic, bounded drop queue
 //	amacbench -exp serveN -json         # machine-readable results, one JSON object per row
-//	amacbench -bench                    # benchmark suite -> BENCH_pr3.json
+//	amacbench -bench                    # benchmark suite -> BENCH_pr4.json
+//	amacbench -bench -benchgate BENCH_pr4.json  # CI gate: fail on >3x ns/op regressions
 //	amacbench -exp fig6 -cpuprofile cpu.prof  # profile the simulator hot path
 //
 // Results are printed as aligned text tables whose rows and columns mirror
@@ -39,19 +41,21 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list available experiments and exit")
-		exp      = flag.String("exp", "", "experiment id to run, or \"all\"")
-		scale    = flag.String("scale", "small", "dataset scale: tiny, small or paper")
-		seed     = flag.Uint64("seed", 42, "workload generation seed")
-		window   = flag.Int("window", 0, "override the number of in-flight lookups (0 = per-experiment default)")
-		workers  = flag.Int("workers", 0, "cap the parallel experiments' worker sweep (0 = default sweep 1,2,4,8,16); serveN worker count")
-		arrivals = flag.String("arrivals", "", "serving arrival process: deterministic, poisson (default) or bursty")
-		qcap     = flag.Int("qcap", 0, "bound the serving admission queue and drop on overflow (0 = unbounded blocking queue)")
-		jsonOut  = flag.Bool("json", false, "emit results as JSON Lines (one object per table row) instead of text tables")
-		bench    = flag.Bool("bench", false, "run the benchmark suite and write per-benchmark ns/op, allocs/op and simulated cycles")
-		benchOut = flag.String("benchout", "BENCH_pr3.json", "output path for -bench")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		list      = flag.Bool("list", false, "list available experiments and exit")
+		exp       = flag.String("exp", "", "experiment id to run, or \"all\"")
+		scale     = flag.String("scale", "small", "dataset scale: tiny, small or paper")
+		seed      = flag.Uint64("seed", 42, "workload generation seed")
+		window    = flag.Int("window", 0, "override the number of in-flight lookups (0 = per-experiment default)")
+		workers   = flag.Int("workers", 0, "cap the parallel experiments' worker sweep (0 = default sweep 1,2,4,8,16); serveN worker count")
+		parallel  = flag.Int("parallel", 0, "host workers for independent sweep points (0 = all cores, 1 = serial); results are identical for every value")
+		arrivals  = flag.String("arrivals", "", "serving arrival process: deterministic, poisson (default) or bursty")
+		qcap      = flag.Int("qcap", 0, "bound the serving admission queue and drop on overflow (0 = unbounded blocking queue)")
+		jsonOut   = flag.Bool("json", false, "emit results as JSON Lines (one object per table row) instead of text tables")
+		bench     = flag.Bool("bench", false, "run the benchmark suite and write per-benchmark ns/op, allocs/op and simulated cycles")
+		benchOut  = flag.String("benchout", "BENCH_pr4.json", "output path for -bench")
+		benchGate = flag.String("benchgate", "", "baseline JSON to gate -bench against: fail on any shared benchmark regressing more than 3x in ns/op")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -105,6 +109,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "amacbench: -qcap must be non-negative, got %d\n", *qcap)
 		os.Exit(2)
 	}
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "amacbench: -parallel must be non-negative, got %d\n", *parallel)
+		os.Exit(2)
+	}
 	if _, err := serve.ParseArrivals(*arrivals, 1); err != nil {
 		fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
 		os.Exit(2)
@@ -116,11 +124,11 @@ func main() {
 	}
 	cfg := experiments.Config{
 		Scale: sc, Seed: *seed, Window: *window, Workers: *workers,
-		Arrivals: *arrivals, QueueCap: *qcap,
+		Arrivals: *arrivals, QueueCap: *qcap, Parallel: *parallel,
 	}
 
 	if *bench {
-		if err := runBenchSuite(*benchOut, cfg, *scale, *seed); err != nil {
+		if err := runBenchSuite(*benchOut, cfg, *scale, *seed, *benchGate); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

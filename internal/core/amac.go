@@ -66,20 +66,11 @@ type slot struct {
 // slotPool recycles the circular-buffer scheduling slots across runs, so
 // sweeps that execute the engine thousands of times (figure 6 alone runs it
 // once per window per skew) reuse one buffer. The generic per-lookup state
-// slice []S stays a single exact-size allocation per run.
-var slotPool = sync.Pool{New: func() any { b := make([]slot, 0, 64); return &b }}
+// slice []S is recycled through exec.GetStates' per-type pools.
+var slotPool sync.Pool
 
 // getSlots returns a zeroed slot buffer of length n from the pool.
-func getSlots(n int) *[]slot {
-	p := slotPool.Get().(*[]slot)
-	if cap(*p) < n {
-		*p = make([]slot, n)
-	} else {
-		*p = (*p)[:n]
-		clear(*p)
-	}
-	return p
-}
+func getSlots(n int) *[]slot { return exec.GetPooled[slot](&slotPool, n) }
 
 // Run executes every lookup of the machine using AMAC with the given
 // options and returns scheduling statistics.
@@ -99,7 +90,8 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
 	var stats RunStats
 	stats.Width = width
 
-	states := make([]S, width)
+	states, putStates := exec.GetStates[S](width)
+	defer putStates()
 	slotsP := getSlots(width)
 	defer slotPool.Put(slotsP)
 	slots := *slotsP

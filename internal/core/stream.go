@@ -1,9 +1,29 @@
 package core
 
 import (
+	"sync"
+
 	"amac/internal/exec"
 	"amac/internal/memsim"
 )
+
+// streamSlot is one circular-buffer entry of a streaming run: the batch
+// engine's scheduling fields plus the identity of the request occupying the
+// slot (for completion accounting).
+type streamSlot struct {
+	busy    bool
+	stage   int
+	req     exec.Request
+	retries uint64
+}
+
+// streamSlotPool recycles the streaming scheduling slots across runs, so a
+// load sweep that executes one stream run per (technique, load, worker)
+// point reuses one buffer per concurrent run.
+var streamSlotPool sync.Pool
+
+// getStreamSlots returns a zeroed slot buffer of length n from the pool.
+func getStreamSlots(n int) *[]streamSlot { return exec.GetPooled[streamSlot](&streamSlotPool, n) }
 
 // RunStream executes AMAC over a pull-based request stream instead of a
 // fixed lookup batch: every slot of the circular buffer refills from the
@@ -32,15 +52,11 @@ func RunStream[S any](c *memsim.Core, src exec.Source[S], opts Options) RunStats
 	var stats RunStats
 	stats.Width = width
 
-	type streamSlot struct {
-		busy    bool
-		stage   int
-		req     exec.Request
-		retries uint64
-	}
-
-	states := make([]S, width)
-	slots := make([]streamSlot, width)
+	states, putStates := exec.GetStates[S](width)
+	defer putStates()
+	slotsP := getStreamSlots(width)
+	defer streamSlotPool.Put(slotsP)
+	slots := *slotsP
 	live := 0
 	exhausted := false
 	waitUntil := uint64(0) // no arrivals before this cycle; skip re-polling

@@ -27,7 +27,8 @@ func GroupPrefetch[S any](c *memsim.Core, m Machine[S], group int) {
 		depth = 1
 	}
 
-	states := make([]S, group)
+	states, putStates := GetStates[S](group)
+	defer putStates()
 	currentP, doneP := getOutcomes(group), getFlags(group)
 	defer func() { outcomePool.Put(currentP); flagPool.Put(doneP) }()
 	current, done := *currentP, *doneP

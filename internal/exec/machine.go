@@ -103,34 +103,15 @@ const retryLimit = 1 << 20
 // batch and stream engines (the Outcome-per-slot and done-per-slot arrays),
 // so parameter sweeps that run an engine thousands of times reuse two
 // buffers instead of allocating per run. The generic per-lookup state slice
-// []S cannot live in a package pool (one pool would mix state types), but it
-// is a single exact-size allocation per run.
-var outcomePool = sync.Pool{New: func() any { b := make([]Outcome, 0, 64); return &b }}
-var flagPool = sync.Pool{New: func() any { b := make([]bool, 0, 64); return &b }}
+// []S is recycled through GetStates' per-state-type pools (pool.go).
+var outcomePool sync.Pool
+var flagPool sync.Pool
 
 // getOutcomes returns a zeroed Outcome buffer of length n from the pool.
-func getOutcomes(n int) *[]Outcome {
-	p := outcomePool.Get().(*[]Outcome)
-	if cap(*p) < n {
-		*p = make([]Outcome, n)
-	} else {
-		*p = (*p)[:n]
-		clear(*p)
-	}
-	return p
-}
+func getOutcomes(n int) *[]Outcome { return GetPooled[Outcome](&outcomePool, n) }
 
 // getFlags returns a zeroed bool buffer of length n from the pool.
-func getFlags(n int) *[]bool {
-	p := flagPool.Get().(*[]bool)
-	if cap(*p) < n {
-		*p = make([]bool, n)
-	} else {
-		*p = (*p)[:n]
-		clear(*p)
-	}
-	return p
-}
+func getFlags(n int) *[]bool { return GetPooled[bool](&flagPool, n) }
 
 // issuePrefetch issues the prefetch requested by an outcome, if any.
 func issuePrefetch(c *memsim.Core, o Outcome) {

@@ -1,6 +1,27 @@
 package exec
 
-import "amac/internal/memsim"
+import (
+	"sync"
+
+	"amac/internal/memsim"
+)
+
+// batchPipeSlot is one SPP pipeline slot of a batch run (no request
+// identity, unlike the streaming variant's pipeSlot).
+type batchPipeSlot struct {
+	busy    bool // a lookup occupies the slot (it may already be done)
+	done    bool // the occupying lookup finished early
+	age     int  // code stages elapsed since the lookup entered
+	current Outcome
+}
+
+// batchPipeSlotPool recycles the batch pipeline-slot buffers across runs.
+var batchPipeSlotPool sync.Pool
+
+// getBatchPipeSlots returns a zeroed slot buffer of length n from the pool.
+func getBatchPipeSlots(n int) *[]batchPipeSlot {
+	return GetPooled[batchPipeSlot](&batchPipeSlotPool, n)
+}
 
 // SoftwarePipeline runs the machine under Software-Pipelined Prefetching
 // (Chen et al.; also applied to trees by Kim et al.), the second prior-art
@@ -28,15 +49,11 @@ func SoftwarePipeline[S any](c *memsim.Core, m Machine[S], inflight int) {
 		depth = 1
 	}
 
-	type slotState struct {
-		busy    bool // a lookup occupies the slot (it may already be done)
-		done    bool // the occupying lookup finished early
-		age     int  // code stages elapsed since the lookup entered
-		current Outcome
-	}
-
-	states := make([]S, inflight)
-	slots := make([]slotState, inflight)
+	states, putStates := GetStates[S](inflight)
+	defer putStates()
+	slotsP := getBatchPipeSlots(inflight)
+	defer batchPipeSlotPool.Put(slotsP)
+	slots := *slotsP
 
 	// Bailed-out lookups: completed alongside the pipeline, one stage per
 	// outer iteration, without prefetching. Processing them round-robin

@@ -2,9 +2,25 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"amac/internal/memsim"
 )
+
+// pipeSlot is one SPP pipeline slot of a streaming run.
+type pipeSlot struct {
+	busy    bool // a request occupies the slot (it may already be done)
+	done    bool // the occupying request finished early
+	age     int  // code stages elapsed since the request entered
+	current Outcome
+	req     Request
+}
+
+// pipeSlotPool recycles the pipeline-slot buffers across streaming runs.
+var pipeSlotPool sync.Pool
+
+// getPipeSlots returns a zeroed pipeline-slot buffer of length n from the pool.
+func getPipeSlots(n int) *[]pipeSlot { return GetPooled[pipeSlot](&pipeSlotPool, n) }
 
 // This file adapts the three batch engines to queue-fed streaming execution
 // over a Source. The adapters keep each technique's defining restriction on
@@ -90,11 +106,11 @@ func GroupPrefetchStream[S any](c *memsim.Core, src Source[S], group int) {
 		depth = 1
 	}
 
-	states := make([]S, group)
-	currentP, doneP := getOutcomes(group), getFlags(group)
-	defer func() { outcomePool.Put(currentP); flagPool.Put(doneP) }()
-	current, done := *currentP, *doneP
-	reqs := make([]Request, group)
+	states, putStates := GetStates[S](group)
+	defer putStates()
+	currentP, doneP, reqsP := getOutcomes(group), getFlags(group), getRequests(group)
+	defer func() { outcomePool.Put(currentP); flagPool.Put(doneP); requestPool.Put(reqsP) }()
+	current, done, reqs := *currentP, *doneP, *reqsP
 
 	for {
 		// Admission: gather the group from whatever the queue holds now.
@@ -172,17 +188,14 @@ func SoftwarePipelineStream[S any](c *memsim.Core, src Source[S], inflight int) 
 		depth = 1
 	}
 
-	type slotState struct {
-		busy    bool // a request occupies the slot (it may already be done)
-		done    bool // the occupying request finished early
-		age     int  // code stages elapsed since the request entered
-		current Outcome
-		req     Request
-	}
+	states, putStates := GetStates[S](inflight)
+	defer putStates()
+	slotsP := getPipeSlots(inflight)
+	defer pipeSlotPool.Put(slotsP)
+	slots := *slotsP
 
-	states := make([]S, inflight)
-	slots := make([]slotState, inflight)
-
+	// The bail-out side path stays nil until a lookup actually overruns the
+	// provisioned depth, so the common no-bail run allocates nothing for it.
 	var bailStates []S
 	var bailCurrent []Outcome
 	var bailReqs []Request

@@ -28,15 +28,19 @@ func ablInflight(cfg Config) []*profile.Table {
 	}
 	t := profile.New("abl-inflight", "AMAC probe cost versus circular-buffer width (Xeon, large uniform join)", "cycles/probe tuple", rows, []string{"AMAC"})
 	t.AddNote("the Xeon core supports 10 outstanding L1-D misses; widths beyond it cannot add MLP")
+	var tasks []func(*sweepEnv) joinResult
 	for _, w := range widths {
-		res := runJoin(joinConfig{
+		jc := joinConfig{
 			machine:   memsim.XeonX5670(),
 			spec:      relation.JoinSpec{BuildSize: sz.joinLarge, ProbeSize: sz.joinLarge, Seed: cfg.seed()},
 			earlyExit: true,
 			tech:      ops.AMAC,
 			window:    w,
-		})
-		t.Set(fmt.Sprintf("%d", w), "AMAC", res.probe.cyclesPerTuple())
+		}
+		tasks = append(tasks, func(e *sweepEnv) joinResult { return runJoin(e, jc) })
+	}
+	for i, res := range runSweep(cfg, tasks) {
+		t.Set(fmt.Sprintf("%d", widths[i]), "AMAC", res.probe.cyclesPerTuple())
 	}
 	return []*profile.Table{t}
 }
@@ -73,19 +77,29 @@ func ablMSHR(cfg Config) []*profile.Table {
 	}
 	t := profile.New("abl-mshr", "Probe cost versus L1-D MSHR count (Xeon-like core, large uniform join)", "cycles/probe tuple", rows, techColumns)
 	t.AddNote("window fixed at 16 in-flight lookups so the MSHR file is the binding limit")
+	type cell struct {
+		row  string
+		tech ops.Technique
+	}
+	var cells []cell
+	var tasks []func(*sweepEnv) joinResult
 	for _, n := range mshrs {
 		machine := memsim.XeonX5670()
 		machine.L1MSHRs = n
 		for _, tech := range ops.Techniques {
-			res := runJoin(joinConfig{
+			jc := joinConfig{
 				machine:   machine,
 				spec:      relation.JoinSpec{BuildSize: sz.joinLarge, ProbeSize: sz.joinLarge, Seed: cfg.seed()},
 				earlyExit: true,
 				tech:      tech,
 				window:    16,
-			})
-			t.Set(fmt.Sprintf("%d", n), tech.String(), res.probe.cyclesPerTuple())
+			}
+			cells = append(cells, cell{fmt.Sprintf("%d", n), tech})
+			tasks = append(tasks, func(e *sweepEnv) joinResult { return runJoin(e, jc) })
 		}
+	}
+	for i, res := range runSweep(cfg, tasks) {
+		t.Set(cells[i].row, cells[i].tech.String(), res.probe.cyclesPerTuple())
 	}
 	return []*profile.Table{t}
 }

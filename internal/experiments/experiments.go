@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"amac/internal/profile"
@@ -61,6 +62,13 @@ type Config struct {
 	// and switches it to the drop policy; zero keeps an unbounded blocking
 	// queue.
 	QueueCap int
+	// Parallel is the number of host workers independent sweep points fan
+	// out over: zero uses every host core (GOMAXPROCS), one forces the
+	// serial path. Results are identical for every value — each worker
+	// deterministically materializes its own workload copies and results
+	// are collected in submission order — so the knob trades host memory
+	// (one workload image per busy worker) for wall clock only.
+	Parallel int
 }
 
 func (c Config) scale() Scale {
@@ -82,6 +90,14 @@ func (c Config) window() int {
 		return 10
 	}
 	return c.Window
+}
+
+// parallelism resolves the sweep worker count (see Config.Parallel).
+func (c Config) parallelism() int {
+	if c.Parallel > 0 {
+		return c.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // workerCounts returns the worker sweep for the parallel scalability

@@ -137,7 +137,7 @@ func TestPhaseResultDerivedMetrics(t *testing.T) {
 
 func TestRunJoinDefensiveDefaults(t *testing.T) {
 	sz := tinyCfg().sizes()
-	res := runJoin(joinConfig{
+	res := runJoin(defaultEnv, joinConfig{
 		machine: memsim.XeonX5670(),
 		spec:    relation.JoinSpec{BuildSize: sz.joinSmall, ProbeSize: sz.joinSmall, Seed: 1},
 		tech:    ops.AMAC,

@@ -33,16 +33,26 @@ func runGroupByFigure(cfg Config, id, title string, machine memsim.Config, input
 		}
 		t := profile.New(id+"-"+sizeLabel, title+", input 2^"+itoa(log2(size))+" tuples", "cycles/input tuple", rows, techColumns)
 		t.AddNote("each distinct key appears %d times when uniform; six aggregate functions per match; scale %q", cfg.sizes().gbRepeats, cfg.scale())
+		type cell struct {
+			row  string
+			tech ops.Technique
+		}
+		var cells []cell
+		var tasks []func(*sweepEnv) phaseResult
 		for _, s := range groupBySkews {
 			for _, tech := range ops.Techniques {
-				res := runGroupBy(groupByConfig{
+				gc := groupByConfig{
 					machine: machine,
 					spec:    relation.GroupBySpec{Size: size, Repeats: cfg.sizes().gbRepeats, Zipf: s.zipf, Seed: cfg.seed()},
 					tech:    tech,
 					window:  cfg.window(),
-				})
-				t.Set(s.label, tech.String(), res.cyclesPerTuple())
+				}
+				cells = append(cells, cell{s.label, tech})
+				tasks = append(tasks, func(*sweepEnv) phaseResult { return runGroupBy(gc) })
 			}
+		}
+		for i, res := range runSweep(cfg, tasks) {
+			t.Set(cells[i].row, cells[i].tech.String(), res.cyclesPerTuple())
 		}
 		out = append(out, t)
 	}

@@ -80,8 +80,11 @@ type joinResult struct {
 }
 
 // runJoin generates the relations, materializes the workload, and measures
-// the requested phases.
-func runJoin(cfg joinConfig) joinResult {
+// the requested phases. The workload comes from the sweep worker's private
+// set (probe-only runs) or is rebuilt fresh from the shared relations
+// (charged builds mutate the table), so concurrent sweep points never touch
+// one arena.
+func runJoin(e *sweepEnv, cfg joinConfig) joinResult {
 	if cfg.threads <= 0 {
 		cfg.threads = 1
 	}
@@ -109,7 +112,7 @@ func runJoin(cfg joinConfig) joinResult {
 			j = ops.NewHashJoin(build, probe)
 		}
 	} else {
-		j, out = cachedProbeJoin(cfg.spec, cfg.buckets)
+		j, out = e.wl.probeJoin(cfg.spec, cfg.buckets)
 	}
 
 	sys := memsim.MustSystem(cfg.machine)
@@ -228,6 +231,15 @@ func runParallelJoin(cfg parallelJoinConfig) parallelJoinResult {
 // round-robin time-slicing of the surplus workers — so oversubscribed rows
 // never report physically impossible concurrency.
 func runParallelProbe(pj *ops.PartitionedHashJoin, cfg parallelJoinConfig) parallelJoinResult {
+	return runParallelProbeOuts(pj, cfg, nil)
+}
+
+// runParallelProbeOuts is runParallelProbe with caller-provided output
+// collectors (one per worker, reset). The serving sweep pre-allocates its
+// collectors in run order when the partitioned workload is materialized, so
+// every sweep worker's copy lays them out at identical arena addresses; nil
+// keeps the classic allocate-at-run behaviour.
+func runParallelProbeOuts(pj *ops.PartitionedHashJoin, cfg parallelJoinConfig, outs []*ops.Output) parallelJoinResult {
 	if cfg.workers < 1 {
 		cfg.workers = 1
 	}
@@ -237,7 +249,13 @@ func runParallelProbe(pj *ops.PartitionedHashJoin, cfg parallelJoinConfig) paral
 
 	cores := make([]*memsim.Core, cfg.workers)
 	machines := make([]*ops.ProbeMachine, cfg.workers)
-	outs := make([]*ops.Output, cfg.workers)
+	if outs == nil {
+		outs = make([]*ops.Output, cfg.workers)
+		for w := 0; w < cfg.workers; w++ {
+			outs[w] = ops.NewOutput(pj.Parts[w].Arena, false)
+			outs[w].Sequential = true // dense per-worker output partition
+		}
+	}
 	shared := cfg.machine.ShareLLC(cfg.workers)
 	for w := 0; w < cfg.workers; w++ {
 		sys := memsim.MustSystem(shared)
@@ -245,8 +263,6 @@ func runParallelProbe(pj *ops.PartitionedHashJoin, cfg parallelJoinConfig) paral
 		sys.SetActiveThreads(cfg.workers, cores[w])
 		warmTable(cores[w], pj.Parts[w])
 		cores[w].ResetStats()
-		outs[w] = ops.NewOutput(pj.Parts[w].Arena, false)
-		outs[w].Sequential = true // dense per-worker output partition
 		machines[w] = pj.ProbeMachine(w, outs[w], cfg.earlyExit)
 	}
 
@@ -292,8 +308,8 @@ func runGroupBy(cfg groupByConfig) phaseResult {
 }
 
 // runBSTSearch measures a tree-search phase over a 2^sizeExp-node tree.
-func runBSTSearch(machine memsim.Config, sizeExp int, tech ops.Technique, window int, seed uint64) phaseResult {
-	w, out := cachedBSTWorkload(1<<sizeExp, seed)
+func runBSTSearch(e *sweepEnv, machine memsim.Config, sizeExp int, tech ops.Technique, window int, seed uint64) phaseResult {
+	w, out := e.wl.bstWorkload(1<<sizeExp, seed)
 	sys := memsim.MustSystem(machine)
 	core := sys.NewCore()
 	ops.RunMachine(core, w.SearchMachine(out), tech, ops.Params{Window: window})
@@ -301,8 +317,8 @@ func runBSTSearch(machine memsim.Config, sizeExp int, tech ops.Technique, window
 }
 
 // runSkipListSearch measures a search phase over a pre-built skip list.
-func runSkipListSearch(machine memsim.Config, sizeExp int, tech ops.Technique, window int, seed uint64) phaseResult {
-	w, out := cachedSkipListSearch(1<<sizeExp, seed)
+func runSkipListSearch(e *sweepEnv, machine memsim.Config, sizeExp int, tech ops.Technique, window int, seed uint64) phaseResult {
+	w, out := e.wl.skipListSearch(1<<sizeExp, seed)
 	sys := memsim.MustSystem(machine)
 	core := sys.NewCore()
 	ops.RunMachine(core, w.SearchMachine(out), tech, ops.Params{Window: window})

@@ -47,10 +47,15 @@ func fig3(cfg Config) []*profile.Table {
 		{"Skewed traversals", fig3SkewFactor, false},
 	}
 
-	var baselineUniform float64
+	type cell struct {
+		v    variant
+		tech ops.Technique
+	}
+	var cells []cell
+	var tasks []func(*sweepEnv) joinResult
 	for _, v := range variants {
 		for _, tech := range ops.Techniques {
-			res := runJoin(joinConfig{
+			jc := joinConfig{
 				machine:   memsim.XeonX5670(),
 				spec:      relation.JoinSpec{BuildSize: n, ProbeSize: n, ZipfBuild: v.zipfBuild, Seed: cfg.seed()},
 				buckets:   n / 8, // four two-tuple nodes per bucket
@@ -58,13 +63,20 @@ func fig3(cfg Config) []*profile.Table {
 				provision: 5, // the common case is four node visits (Section 2.2.2)
 				tech:      tech,
 				window:    cfg.window(),
-			})
-			cpt := res.probe.cyclesPerTuple()
-			if v.label == "Uniform traversals" && tech == ops.Baseline {
-				baselineUniform = cpt
 			}
-			t.Set(v.label, tech.String(), cpt)
+			cells = append(cells, cell{v, tech})
+			tasks = append(tasks, func(e *sweepEnv) joinResult { return runJoin(e, jc) })
 		}
+	}
+
+	var baselineUniform float64
+	for i, res := range runSweep(cfg, tasks) {
+		c := cells[i]
+		cpt := res.probe.cyclesPerTuple()
+		if c.v.label == "Uniform traversals" && c.tech == ops.Baseline {
+			baselineUniform = cpt
+		}
+		t.Set(c.v.label, c.tech.String(), cpt)
 	}
 	if baselineUniform > 0 {
 		for i := range t.Values {
@@ -83,14 +95,19 @@ func table3(cfg Config) []*profile.Table {
 	t := profile.New("table3", "Uniform join with unequal table sizes (2MB-class build)", "per probe tuple",
 		[]string{"Instructions per Tuple", "Cycles per Tuple"}, techColumns)
 	t.AddNote("|R| = 2^%d, |S| = 2^%d, scale %q", log2(sz.joinSmall), log2(sz.joinLarge), cfg.scale())
+	var tasks []func(*sweepEnv) joinResult
 	for _, tech := range ops.Techniques {
-		res := runJoin(joinConfig{
+		jc := joinConfig{
 			machine:   memsim.XeonX5670(),
 			spec:      relation.JoinSpec{BuildSize: sz.joinSmall, ProbeSize: sz.joinLarge, Seed: cfg.seed()},
 			earlyExit: true,
 			tech:      tech,
 			window:    cfg.window(),
-		})
+		}
+		tasks = append(tasks, func(e *sweepEnv) joinResult { return runJoin(e, jc) })
+	}
+	for i, res := range runSweep(cfg, tasks) {
+		tech := ops.Techniques[i]
 		t.Set("Instructions per Tuple", tech.String(), res.probe.instrPerTuple())
 		t.Set("Cycles per Tuple", tech.String(), res.probe.cyclesPerTuple())
 	}
@@ -112,10 +129,15 @@ func runFig5(cfg Config, id, title string, machine memsim.Config, buildSize, pro
 	probeT := profile.New(id+"-probe", title+" (probe phase only)", "cycles/output tuple", rows, techColumns)
 	total.AddNote("|R| = 2^%d, |S| = 2^%d, scale %q; output tuples = probe tuples", log2(buildSize), log2(probeSize), cfg.scale())
 
+	type cell struct {
+		row  string
+		tech ops.Technique
+	}
+	var cells []cell
+	var tasks []func(*sweepEnv) joinResult
 	for _, s := range joinSkews {
-		row := skewLabel(s[0], s[1])
 		for _, tech := range ops.Techniques {
-			res := runJoin(joinConfig{
+			jc := joinConfig{
 				machine: machine,
 				spec:    relation.JoinSpec{BuildSize: buildSize, ProbeSize: probeSize, ZipfBuild: s[0], ZipfProbe: s[1], Seed: cfg.seed()},
 				// The paper's probe stages (Table 1) terminate at the first
@@ -126,13 +148,18 @@ func runFig5(cfg Config, id, title string, machine memsim.Config, buildSize, pro
 				tech:        tech,
 				window:      cfg.window(),
 				chargeBuild: true,
-			})
-			buildPerOut := float64(res.build.cycles) / float64(res.probe.tuples)
-			probePerOut := res.probe.cyclesPerTuple()
-			buildT.Set(row, tech.String(), buildPerOut)
-			probeT.Set(row, tech.String(), probePerOut)
-			total.Set(row, tech.String(), buildPerOut+probePerOut)
+			}
+			cells = append(cells, cell{skewLabel(s[0], s[1]), tech})
+			tasks = append(tasks, func(e *sweepEnv) joinResult { return runJoin(e, jc) })
 		}
+	}
+	for i, res := range runSweep(cfg, tasks) {
+		c := cells[i]
+		buildPerOut := float64(res.build.cycles) / float64(res.probe.tuples)
+		probePerOut := res.probe.cyclesPerTuple()
+		buildT.Set(c.row, c.tech.String(), buildPerOut)
+		probeT.Set(c.row, c.tech.String(), probePerOut)
+		total.Set(c.row, c.tech.String(), buildPerOut+probePerOut)
 	}
 	return []*profile.Table{total, buildT, probeT}
 }
@@ -161,24 +188,36 @@ func fig6(cfg Config) []*profile.Table {
 		rows[i] = fmt.Sprintf("%d", w)
 	}
 
+	type cell struct {
+		table int
+		row   string
+		col   string
+	}
 	var out []*profile.Table
+	var cells []cell
+	var tasks []func(*sweepEnv) joinResult
 	for i, tech := range ops.PrefetchingTechniques {
 		sub := string(rune('a' + i))
 		t := profile.New("fig6"+sub, fmt.Sprintf("Probe sensitivity to in-flight lookups: %s", tech), "cycles/probe tuple", rows, cols)
 		t.AddNote("rows: number of in-flight lookups; |R| = |S| = 2^%d, scale %q", log2(sz.joinLarge), cfg.scale())
+		out = append(out, t)
 		for _, s := range joinSkews {
 			for _, w := range sz.windows {
-				res := runJoin(joinConfig{
+				jc := joinConfig{
 					machine:   memsim.XeonX5670(),
 					spec:      relation.JoinSpec{BuildSize: sz.joinLarge, ProbeSize: sz.joinLarge, ZipfBuild: s[0], ZipfProbe: s[1], Seed: cfg.seed()},
 					earlyExit: true, // first-match probe, as in the paper's Table 1
 					tech:      tech,
 					window:    w,
-				})
-				t.Set(fmt.Sprintf("%d", w), skewLabel(s[0], s[1]), res.probe.cyclesPerTuple())
+				}
+				cells = append(cells, cell{i, fmt.Sprintf("%d", w), skewLabel(s[0], s[1])})
+				tasks = append(tasks, func(e *sweepEnv) joinResult { return runJoin(e, jc) })
 			}
 		}
-		out = append(out, t)
+	}
+	for i, res := range runSweep(cfg, tasks) {
+		c := cells[i]
+		out[c.table].Set(c.row, c.col, res.probe.cyclesPerTuple())
 	}
 	return out
 }
@@ -188,7 +227,15 @@ var scalabilitySkews = [][2]float64{{0, 0}, {0.5, 0.5}, {1, 1}}
 
 // runScalability measures probe throughput versus thread count.
 func runScalability(cfg Config, id, title string, machine memsim.Config, threads []int, joinSize int) []*profile.Table {
+	type cell struct {
+		table   int
+		row     string
+		tech    ops.Technique
+		threads int
+	}
 	var out []*profile.Table
+	var cells []cell
+	var tasks []func(*sweepEnv) joinResult
 	for i, s := range scalabilitySkews {
 		sub := string(rune('a' + i))
 		rows := make([]string, len(threads))
@@ -197,20 +244,25 @@ func runScalability(cfg Config, id, title string, machine memsim.Config, threads
 		}
 		t := profile.New(id+sub, fmt.Sprintf("%s, keys %s", title, skewLabel(s[0], s[1])), "M tuples/s", rows, techColumns)
 		t.AddNote("rows: hardware threads; |R| = |S| = 2^%d, scale %q", log2(joinSize), cfg.scale())
+		out = append(out, t)
 		for _, th := range threads {
 			for _, tech := range ops.Techniques {
-				res := runJoin(joinConfig{
+				jc := joinConfig{
 					machine:   machine,
 					spec:      relation.JoinSpec{BuildSize: joinSize, ProbeSize: joinSize, ZipfBuild: s[0], ZipfProbe: s[1], Seed: cfg.seed()},
 					earlyExit: true, // first-match probe, as in the paper's Table 1
 					tech:      tech,
 					window:    cfg.window(),
 					threads:   th,
-				})
-				t.Set(fmt.Sprintf("%d", th), tech.String(), res.probe.throughputMTuplesPerSec(machine.FreqHz, th))
+				}
+				cells = append(cells, cell{i, fmt.Sprintf("%d", th), tech, th})
+				tasks = append(tasks, func(e *sweepEnv) joinResult { return runJoin(e, jc) })
 			}
 		}
-		out = append(out, t)
+	}
+	for i, res := range runSweep(cfg, tasks) {
+		c := cells[i]
+		out[c.table].Set(c.row, c.tech.String(), res.probe.throughputMTuplesPerSec(machine.FreqHz, c.threads))
 	}
 	return out
 }
@@ -252,20 +304,34 @@ func scaleN(cfg Config) []*profile.Table {
 	}
 
 	spec := relation.JoinSpec{BuildSize: n, ProbeSize: n, Seed: cfg.seed()}
-	base := make(map[ops.Technique]float64)
+	// One task per worker count: each task materializes its own partitioned
+	// workload (fresh per count, as before) and probes it read-only with
+	// every technique in the fixed column order, so tasks are independent
+	// and can fan out across sweep workers.
+	var tasks []func(*sweepEnv) []float64
 	for _, w := range counts {
-		// One partitioned workload per worker count, probed read-only by
-		// every technique.
-		pj := newParallelJoin(spec, w)
-		for _, tech := range ops.Techniques {
-			res := runParallelProbe(pj, parallelJoinConfig{
-				machine:   machine,
-				workers:   w,
-				tech:      tech,
-				window:    cfg.window(),
-				earlyExit: true, // unique build keys: first match == only match
-			})
-			th := res.aggregateThroughputMTuplesPerSec(machine.FreqHz)
+		w := w
+		tasks = append(tasks, func(*sweepEnv) []float64 {
+			pj := newParallelJoin(spec, w)
+			tputs := make([]float64, len(ops.Techniques))
+			for t, tech := range ops.Techniques {
+				res := runParallelProbe(pj, parallelJoinConfig{
+					machine:   machine,
+					workers:   w,
+					tech:      tech,
+					window:    cfg.window(),
+					earlyExit: true, // unique build keys: first match == only match
+				})
+				tputs[t] = res.aggregateThroughputMTuplesPerSec(machine.FreqHz)
+			}
+			return tputs
+		})
+	}
+	base := make(map[ops.Technique]float64)
+	for i, tputs := range runSweep(cfg, tasks) {
+		w := counts[i]
+		for t, tech := range ops.Techniques {
+			th := tputs[t]
 			if _, ok := base[tech]; !ok {
 				base[tech] = th
 			}
@@ -296,8 +362,9 @@ func table4(cfg Config) []*profile.Table {
 	points := []point{
 		{"1", 1, 1}, {"2", 2, 2}, {"4", 4, 4}, {"6", 6, 6}, {"2+2", 4, 2},
 	}
+	var tasks []func(*sweepEnv) joinResult
 	for _, p := range points {
-		res := runJoin(joinConfig{
+		jc := joinConfig{
 			machine:          memsim.XeonX5670(),
 			spec:             relation.JoinSpec{BuildSize: sz.joinLarge, ProbeSize: sz.joinLarge, Seed: cfg.seed()},
 			earlyExit:        true,
@@ -305,7 +372,11 @@ func table4(cfg Config) []*profile.Table {
 			window:           cfg.window(),
 			threads:          p.threads,
 			threadsPerSocket: p.threadsPerSocket,
-		})
+		}
+		tasks = append(tasks, func(e *sweepEnv) joinResult { return runJoin(e, jc) })
+	}
+	for i, res := range runSweep(cfg, tasks) {
+		p := points[i]
 		t.Set("IPC", p.label, res.probe.stats.IPC())
 		t.Set("L1-D MSHR Hits (per k-inst.)", p.label, res.probe.stats.MSHRHitsPerKiloInstr())
 		t.Set("MSHR hit wait cycles (per k-inst.)", p.label,

@@ -27,6 +27,49 @@ var serveLoads = []float64{0.3, 0.6, 0.9, 1.2}
 
 func loadLabel(l float64) string { return fmt.Sprintf("%d%%", int(l*100+0.5)) }
 
+// servingKey identifies a serving-prepared partitioned join in a
+// workloadSet.
+type servingKey struct {
+	spec    relation.JoinSpec
+	workers int
+	runs    int
+}
+
+// servingJoin is a partitioned join prepared for a serving sweep: the
+// workload plus the output collectors of every run of the sweep
+// (calibration is run 0), pre-allocated in run-major order at
+// materialization time. Pre-allocation pins the collectors' arena
+// addresses: a serial sweep allocates them lazily in exactly this order, so
+// every sweep worker's private copy — whichever subset of runs it executes —
+// charges its stores at the same simulated addresses and reproduces the
+// serial cycle counts bit for bit.
+type servingJoin struct {
+	pj   *ops.PartitionedHashJoin
+	outs [][]*ops.Output // [run][worker]
+}
+
+// servingJoin returns the set's serving workload for the key, materializing
+// it on first use. Collectors are not reset here; each run resets the ones
+// it uses.
+func (ws *workloadSet) servingJoin(spec relation.JoinSpec, workers, runs int) *servingJoin {
+	build, probe := cachedJoinRelations(spec)
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.serves.get(servingKey{spec, workers, runs}, func() *servingJoin {
+		pj := ops.PartitionJoin(build, probe, workers)
+		pj.PrebuildRaw()
+		outs := make([][]*ops.Output, runs)
+		for r := range outs {
+			outs[r] = make([]*ops.Output, workers)
+			for w := 0; w < workers; w++ {
+				outs[r][w] = ops.NewOutput(pj.Parts[w].Arena, false)
+				outs[r][w].Sequential = true // dense per-worker output partition
+			}
+		}
+		return &servingJoin{pj: pj, outs: outs}
+	})
+}
+
 // serveN measures the streaming request-serving layer end to end: a hash
 // join with skewed build keys (long, divergent bucket chains — the fig5b
 // [1, 0] configuration where AMAC's refill flexibility matters most) is
@@ -39,7 +82,9 @@ func loadLabel(l float64) string { return fmt.Sprintf("%d%%", int(l*100+0.5)) }
 //
 // -workers shards the service (default 1 worker); -arrivals selects the
 // traffic shape (poisson by default); -qcap bounds the admission queue and
-// switches it to the drop policy, adding a drop-fraction table.
+// switches it to the drop policy, adding a drop-fraction table. The
+// (load, technique) cells are independent runs and fan out over -parallel
+// sweep workers.
 func serveN(cfg Config) []*profile.Table {
 	sz := cfg.sizes()
 	n := sz.joinLarge
@@ -50,14 +95,18 @@ func serveN(cfg Config) []*profile.Table {
 	}
 
 	spec := relation.JoinSpec{BuildSize: n, ProbeSize: n, ZipfBuild: 1.0, Seed: cfg.seed()}
-	pj := newParallelJoin(spec, workers)
+	runs := 1 + len(serveLoads)*len(ops.Techniques)
+	sj := defaultWorkloads.servingJoin(spec, workers, runs)
 
 	// Calibrate: batch-mode AMAC over the same partitions, same cores. The
 	// aggregate service capacity is total tuples over the slowest worker's
 	// time, exactly as the scaleN experiment reports it.
-	batch := runParallelProbe(pj, parallelJoinConfig{
+	for _, out := range sj.outs[0] {
+		out.Reset()
+	}
+	batch := runParallelProbeOuts(sj.pj, parallelJoinConfig{
 		machine: machine, workers: workers, tech: ops.AMAC, window: cfg.window(), earlyExit: true,
-	})
+	}, sj.outs[0])
 	capacity := float64(batch.tuples) / float64(batch.merged.Cycles) // requests per cycle, aggregate
 
 	policy := serve.Block
@@ -82,16 +131,31 @@ func serveN(cfg Config) []*profile.Table {
 	p99.AddNote("AMAC refills each slot the moment a lookup completes; GP/SPP admit only at batch boundaries, " +
 		"so near saturation their queues grow and p99 inflates while AMAC's stays near its service time")
 
+	type cell struct {
+		load float64
+		tech ops.Technique
+	}
+	var cells []cell
+	var tasks []func(*sweepEnv) serve.Result
 	for _, load := range serveLoads {
 		for _, tech := range ops.Techniques {
-			res := runServe(cfg, pj, machine, workers, tech, load, capacity, policy)
-			row := loadLabel(load)
-			tput.Set(row, tech.String(), res.ThroughputPerCycle()*machine.FreqHz/1e6)
-			p50.Set(row, tech.String(), float64(res.Latency.P50())/1000)
-			p99.Set(row, tech.String(), float64(res.Latency.P99())/1000)
-			if drops != nil {
-				drops.Set(row, tech.String(), res.Latency.DropFraction())
-			}
+			load, tech := load, tech
+			runIdx := 1 + len(cells) // collector set of this cell; 0 is calibration
+			cells = append(cells, cell{load, tech})
+			tasks = append(tasks, func(e *sweepEnv) serve.Result {
+				sj := e.wl.servingJoin(spec, workers, runs)
+				return runServe(cfg, sj, runIdx, machine, workers, tech, load, capacity, policy)
+			})
+		}
+	}
+	for i, res := range runSweep(cfg, tasks) {
+		c := cells[i]
+		row := loadLabel(c.load)
+		tput.Set(row, c.tech.String(), res.ThroughputPerCycle()*machine.FreqHz/1e6)
+		p50.Set(row, c.tech.String(), float64(res.Latency.P50())/1000)
+		p99.Set(row, c.tech.String(), float64(res.Latency.P99())/1000)
+		if drops != nil {
+			drops.Set(row, c.tech.String(), res.Latency.DropFraction())
 		}
 	}
 
@@ -105,15 +169,17 @@ func serveN(cfg Config) []*profile.Table {
 // runServe executes one (technique, load) cell of the sweep: every worker
 // serves its partition's probe machine from a queue fed by its own arrival
 // schedule, rates split across workers in proportion to their partition
-// sizes so each worker's stream spans the same simulated duration.
-func runServe(cfg Config, pj *ops.PartitionedHashJoin, machine memsim.Config, workers int,
+// sizes so each worker's stream spans the same simulated duration. The cell
+// uses the serving workload's pre-allocated run-indexed collectors and the
+// shared arrival-schedule cache, so repeated cells rebuild nothing.
+func runServe(cfg Config, sj *servingJoin, run int, machine memsim.Config, workers int,
 	tech ops.Technique, load, capacity float64, policy serve.Policy) serve.Result {
+	pj := sj.pj
 	totalTuples := pj.ProbeTuples()
-	outs := make([]*ops.Output, workers)
+	outs := sj.outs[run]
 	specs := make([]serve.Worker[ops.ProbeState], workers)
 	for w := 0; w < workers; w++ {
-		outs[w] = ops.NewOutput(pj.Parts[w].Arena, false)
-		outs[w].Sequential = true
+		outs[w].Reset()
 		nw := pj.Parts[w].Probe.Len()
 		if nw == 0 {
 			specs[w] = serve.Worker[ops.ProbeState]{Machine: pj.ProbeMachine(w, outs[w], true)}
@@ -122,13 +188,9 @@ func runServe(cfg Config, pj *ops.PartitionedHashJoin, machine memsim.Config, wo
 		// Worker w's offered rate is load*capacity*nw/total requests per
 		// cycle; its mean inter-arrival period is the reciprocal.
 		period := float64(totalTuples) / (load * capacity * float64(nw))
-		proc, err := serve.ParseArrivals(cfg.Arrivals, period)
-		if err != nil {
-			panic(fmt.Sprintf("experiments: %v", err))
-		}
 		specs[w] = serve.Worker[ops.ProbeState]{
 			Machine:  pj.ProbeMachine(w, outs[w], true),
-			Arrivals: proc.Schedule(nw, cfg.seed()+uint64(w)+1),
+			Arrivals: cachedArrivalSchedule(cfg.Arrivals, period, nw, cfg.seed()+uint64(w)+1),
 		}
 	}
 	return serve.Run(serve.Options{

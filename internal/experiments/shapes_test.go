@@ -38,7 +38,7 @@ const shapeJoinSize = 1 << 16
 
 func shapeJoin(t *testing.T, machine memsim.Config, zr, zs float64, tech ops.Technique, threads int) joinResult {
 	t.Helper()
-	return runJoin(joinConfig{
+	return runJoin(defaultEnv, joinConfig{
 		machine:   machine,
 		spec:      relation.JoinSpec{BuildSize: shapeJoinSize, ProbeSize: shapeJoinSize, ZipfBuild: zr, ZipfProbe: zs, Seed: 99},
 		earlyExit: zr == 0,
@@ -101,7 +101,7 @@ func TestShapeSmallBuildRelation(t *testing.T) {
 		t.Skip("shape tests take a few seconds")
 	}
 	small := func(tech ops.Technique) float64 {
-		return runJoin(joinConfig{
+		return runJoin(defaultEnv, joinConfig{
 			machine:   scaledXeon(),
 			spec:      relation.JoinSpec{BuildSize: 1 << 12, ProbeSize: shapeJoinSize, Seed: 5},
 			earlyExit: true,
@@ -127,7 +127,7 @@ func TestShapeInFlightSensitivity(t *testing.T) {
 		t.Skip("shape tests take a few seconds")
 	}
 	at := func(window int) float64 {
-		return runJoin(joinConfig{
+		return runJoin(defaultEnv, joinConfig{
 			machine:   scaledXeon(),
 			spec:      relation.JoinSpec{BuildSize: shapeJoinSize, ProbeSize: shapeJoinSize, Seed: 99},
 			earlyExit: true,
@@ -201,7 +201,7 @@ func TestShapeMSHRHitsRiseWithThreads(t *testing.T) {
 	}
 	machine := scaledXeon()
 	stats := func(threads, perSocket int) memsim.Stats {
-		return runJoin(joinConfig{
+		return runJoin(defaultEnv, joinConfig{
 			machine:          machine,
 			spec:             relation.JoinSpec{BuildSize: shapeJoinSize, ProbeSize: shapeJoinSize, Seed: 99},
 			earlyExit:        true,
@@ -270,8 +270,8 @@ func TestShapeBSTBenefitGrowsWithTreeSize(t *testing.T) {
 		t.Skip("shape tests take a few seconds")
 	}
 	speedup := func(sizeExp int) float64 {
-		base := runBSTSearch(scaledXeon(), sizeExp, ops.Baseline, 10, 7).cyclesPerTuple()
-		am := runBSTSearch(scaledXeon(), sizeExp, ops.AMAC, 10, 7).cyclesPerTuple()
+		base := runBSTSearch(defaultEnv, scaledXeon(), sizeExp, ops.Baseline, 10, 7).cyclesPerTuple()
+		am := runBSTSearch(defaultEnv, scaledXeon(), sizeExp, ops.AMAC, 10, 7).cyclesPerTuple()
 		return base / am
 	}
 	smallTree, bigTree := speedup(10), speedup(16)
@@ -292,8 +292,8 @@ func TestShapeSkipListSearchAndInsert(t *testing.T) {
 	}
 	const sizeExp = 14
 	searchSpeedup := func(tech ops.Technique) float64 {
-		base := runSkipListSearch(scaledXeon(), sizeExp, ops.Baseline, 10, 7).cyclesPerTuple()
-		return base / runSkipListSearch(scaledXeon(), sizeExp, tech, 10, 7).cyclesPerTuple()
+		base := runSkipListSearch(defaultEnv, scaledXeon(), sizeExp, ops.Baseline, 10, 7).cyclesPerTuple()
+		return base / runSkipListSearch(defaultEnv, scaledXeon(), sizeExp, tech, 10, 7).cyclesPerTuple()
 	}
 	insertSpeedup := func(tech ops.Technique) float64 {
 		base := runSkipListInsert(scaledXeon(), sizeExp, ops.Baseline, 10, 7).cyclesPerTuple()

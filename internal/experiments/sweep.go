@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the parallel sweep runner: an experiment enumerates
+// its measurement points as independent closures (one per table cell or row
+// group), and runSweep fans them out over host workers. Three properties
+// make the fan-out invisible in the results:
+//
+//   - Points are independent by construction: each one simulates on a
+//     private System/Core, and the arena-backed workloads it touches come
+//     from its worker's own workloadSet (arenas are not goroutine-safe even
+//     read-only). Workers share only immutable relations and schedules.
+//   - Workload materialization is deterministic, so every worker's copy of
+//     a workload is byte-identical in the simulated address space and each
+//     point computes exactly the value it computes serially.
+//   - Results land in a slice indexed by submission order; the caller
+//     consumes them in that order, so rendered tables — and the -json
+//     profile stream — are byte-identical to the serial run.
+//
+// The trade is host memory: every busy worker beyond the first materializes
+// its own copies of the workloads its points touch.
+
+// sweepEnv is the per-worker context a sweep point runs under.
+type sweepEnv struct {
+	wl *workloadSet
+}
+
+// defaultEnv is the environment of all serial execution: points run in
+// submission order against the process-wide workload set.
+var defaultEnv = &sweepEnv{wl: defaultWorkloads}
+
+// runSweep executes the point tasks of one experiment sweep and returns
+// their results in submission order. With parallelism 1 (or a single task)
+// every task runs in order on the calling goroutine against the default
+// workload set — exactly the pre-parallel behaviour. Otherwise
+// min(parallelism, len(tasks)) workers drain the task list; worker 0 borrows
+// the default set so already-built workloads keep serving, and every other
+// worker owns a fresh private set.
+func runSweep[T any](cfg Config, tasks []func(*sweepEnv) T) []T {
+	results := make([]T, len(tasks))
+	p := cfg.parallelism()
+	if p > len(tasks) {
+		p = len(tasks)
+	}
+	if p <= 1 {
+		for i, task := range tasks {
+			results[i] = task(defaultEnv)
+		}
+		return results
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		env := defaultEnv
+		if w > 0 {
+			env = &sweepEnv{wl: newWorkloadSet()}
+		}
+		wg.Add(1)
+		go func(env *sweepEnv) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				results[i] = tasks[i](env)
+			}
+		}(env)
+	}
+	wg.Wait()
+	return results
+}

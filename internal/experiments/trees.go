@@ -23,11 +23,23 @@ func fig10(cfg Config) []*profile.Table {
 	}
 	t := profile.New("fig10", "BST search on Xeon x5670", "cycles/probe tuple", rows, techColumns)
 	t.AddNote("rows: tree size (nodes); probe relation size equals tree size; scale %q", cfg.scale())
+	type cell struct {
+		row  string
+		tech ops.Technique
+	}
+	var cells []cell
+	var tasks []func(*sweepEnv) phaseResult
 	for _, e := range sz.bstSizes {
 		for _, tech := range ops.Techniques {
-			res := runBSTSearch(memsim.XeonX5670(), e, tech, cfg.window(), cfg.seed())
-			t.Set(fmt.Sprintf("2^%d", e), tech.String(), res.cyclesPerTuple())
+			e, tech := e, tech
+			cells = append(cells, cell{fmt.Sprintf("2^%d", e), tech})
+			tasks = append(tasks, func(env *sweepEnv) phaseResult {
+				return runBSTSearch(env, memsim.XeonX5670(), e, tech, cfg.window(), cfg.seed())
+			})
 		}
+	}
+	for i, res := range runSweep(cfg, tasks) {
+		t.Set(cells[i].row, cells[i].tech.String(), res.cyclesPerTuple())
 	}
 	return []*profile.Table{t}
 }
@@ -43,13 +55,28 @@ func fig11(cfg Config) []*profile.Table {
 	insert := profile.New("fig11-insert", "Skip list insert on Xeon x5670", "cycles/input tuple", rows, techColumns)
 	search.AddNote("rows: skip list size (elements); scale %q", cfg.scale())
 	insert.AddNote("rows: number of inserted elements (list built from scratch); scale %q", cfg.scale())
+	type cell struct {
+		row  string
+		tech ops.Technique
+	}
+	type pair struct{ search, insert phaseResult }
+	var cells []cell
+	var tasks []func(*sweepEnv) pair
 	for _, e := range sz.slSizes {
 		for _, tech := range ops.Techniques {
-			s := runSkipListSearch(memsim.XeonX5670(), e, tech, cfg.window(), cfg.seed())
-			search.Set(fmt.Sprintf("2^%d", e), tech.String(), s.cyclesPerTuple())
-			in := runSkipListInsert(memsim.XeonX5670(), e, tech, cfg.window(), cfg.seed())
-			insert.Set(fmt.Sprintf("2^%d", e), tech.String(), in.cyclesPerTuple())
+			e, tech := e, tech
+			cells = append(cells, cell{fmt.Sprintf("2^%d", e), tech})
+			tasks = append(tasks, func(env *sweepEnv) pair {
+				return pair{
+					search: runSkipListSearch(env, memsim.XeonX5670(), e, tech, cfg.window(), cfg.seed()),
+					insert: runSkipListInsert(memsim.XeonX5670(), e, tech, cfg.window(), cfg.seed()),
+				}
+			})
 		}
+	}
+	for i, res := range runSweep(cfg, tasks) {
+		search.Set(cells[i].row, cells[i].tech.String(), res.search.cyclesPerTuple())
+		insert.Set(cells[i].row, cells[i].tech.String(), res.insert.cyclesPerTuple())
 	}
 	return []*profile.Table{search, insert}
 }
@@ -63,11 +90,21 @@ func fig13(cfg Config) []*profile.Table {
 	}
 	t := profile.New("fig13", "BST and skip list search on SPARC T4", "cycles/probe tuple", rows, techColumns)
 	t.AddNote("scale %q", cfg.scale())
+	type pair struct{ bst, sl phaseResult }
+	var tasks []func(*sweepEnv) pair
 	for _, tech := range ops.Techniques {
-		bst := runBSTSearch(memsim.SPARCT4(), sz.bstT4, tech, cfg.window(), cfg.seed())
-		t.Set(rows[0], tech.String(), bst.cyclesPerTuple())
-		sl := runSkipListSearch(memsim.SPARCT4(), sz.slT4, tech, cfg.window(), cfg.seed())
-		t.Set(rows[1], tech.String(), sl.cyclesPerTuple())
+		tech := tech
+		tasks = append(tasks, func(env *sweepEnv) pair {
+			return pair{
+				bst: runBSTSearch(env, memsim.SPARCT4(), sz.bstT4, tech, cfg.window(), cfg.seed()),
+				sl:  runSkipListSearch(env, memsim.SPARCT4(), sz.slT4, tech, cfg.window(), cfg.seed()),
+			}
+		})
+	}
+	for i, res := range runSweep(cfg, tasks) {
+		tech := ops.Techniques[i]
+		t.Set(rows[0], tech.String(), res.bst.cyclesPerTuple())
+		t.Set(rows[1], tech.String(), res.sl.cyclesPerTuple())
 	}
 	return []*profile.Table{t}
 }

@@ -368,8 +368,17 @@ func (c *Cache) Invalidate(line uint64) {
 	}
 }
 
-// Reset invalidates all lines and clears statistics.
+// Reset invalidates all lines and clears statistics. An untouched cache is
+// reset for free: every state-changing operation ticks the clock (inserts)
+// or bumps the hit/miss counters (lookups), so clock == hits == misses == 0
+// proves the tag array is still all-zero and the memset can be skipped —
+// which is what makes recycling a socket model cheap for compute-only runs
+// that never reach this level.
 func (c *Cache) Reset() {
+	if c.clock == 0 && c.hits == 0 && c.misses == 0 {
+		c.missLine = noLine
+		return
+	}
 	for i := range c.words {
 		c.words[i] = 0
 	}

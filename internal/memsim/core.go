@@ -180,6 +180,12 @@ func (c *Core) SetSMTSharers(n int) {
 	if budget < 1 {
 		budget = 1
 	}
+	if c.mshr != nil && c.mshr.Size() == budget {
+		// Same register count: clearing the file is state-identical to a
+		// fresh one, and recycled cores (AcquireSystem) stay allocation-free.
+		c.mshr.Reset()
+		return
+	}
 	c.mshr = NewMSHRFile(budget)
 }
 
@@ -218,18 +224,23 @@ func (c *Core) ResetStats() {
 	c.mshr.Reset()
 }
 
-// Reset restores the core to a cold state: caches, TLB, MSHRs, counters.
-// The shared L3 is not touched; use System.Reset for that.
+// Reset restores the core to a cold state — caches, TLB, MSHRs, stream
+// trackers, demand estimate, counters — exactly as newCore leaves it, so a
+// recycled core is bit-identical to a fresh one. The shared L3 is not
+// touched; use System.Reset for that.
 func (c *Core) Reset() {
 	c.l1.Reset()
 	c.l2.Reset()
 	c.tlb.Reset()
-	c.mshr.Reset()
+	c.SetSMTSharers(1)
+	c.oooHide = defaultOoOHide(c.cfg)
 	for i := range c.streams {
 		c.streams[i] = 0
 	}
+	c.streamRR = 0
 	c.lastStreamLine = 0
 	c.lastStreamMiss = false
+	c.offchipDemand = 0
 	c.stats = Stats{}
 	c.cycle = 0
 	c.instrAcc = 0

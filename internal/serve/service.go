@@ -93,19 +93,26 @@ func (r Result) ThroughputPerCycle() float64 {
 // real goroutines (exec.RunParallel), and the per-worker stats and latency
 // recorders are merged. Deterministic for a fixed configuration regardless
 // of the goroutine schedule, because workers share nothing mutable.
+//
+// The socket models are recycled (memsim.AcquireSystem), so a load sweep
+// that calls Run once per (technique, load) point reuses one System+Core
+// pair per worker instead of rebuilding megabytes of cache metadata per
+// point; a recycled pair is reset to exactly the fresh-construction state,
+// so results are bit-identical either way.
 func Run[S any](opts Options, workers []Worker[S]) Result {
 	n := len(workers)
 	if n == 0 {
 		return Result{}
 	}
 
+	pooled := make([]*memsim.PooledSystem, n)
 	cores := make([]*memsim.Core, n)
 	sources := make([]*QueueSource[S], n)
 	shared := opts.Hardware.ShareLLC(n)
 	for w := 0; w < n; w++ {
-		sys := memsim.MustSystem(shared)
-		cores[w] = sys.NewCore()
-		sys.SetActiveThreads(n, cores[w])
+		pooled[w] = memsim.AcquireSystem(shared)
+		cores[w] = pooled[w].Core
+		pooled[w].Sys.SetActiveThreads(n, cores[w])
 		if opts.Prepare != nil {
 			opts.Prepare(w, cores[w])
 		}
@@ -126,6 +133,8 @@ func Run[S any](opts Options, workers []Worker[S]) Result {
 			Sched:   sched[w],
 		})
 		res.Latency.Merge(sources[w].Recorder())
+		sources[w].Close()
+		pooled[w].Release()
 	}
 	return res
 }

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"sync"
+
 	"amac/internal/exec"
 	"amac/internal/memsim"
 )
@@ -38,13 +40,37 @@ const (
 	costPop   = 2
 )
 
+// ringPool recycles admission-ring buffers across runs, so a load sweep that
+// builds one QueueSource per (technique, load, worker) run reuses a handful
+// of rings instead of allocating per run.
+var ringPool = sync.Pool{New: func() any { b := make([]int32, 0, 64); return &b }}
+
+// getRing returns a power-of-two ring with room for at least n entries.
+func getRing(n int) *[]int32 {
+	size := 64
+	for size < n {
+		size <<= 1
+	}
+	p := ringPool.Get().(*[]int32)
+	if cap(*p) < size {
+		*p = make([]int32, size)
+	} else {
+		*p = (*p)[:cap(*p)]
+	}
+	return p
+}
+
 // QueueSource feeds a streaming engine from a bounded admission queue filled
 // by an open-loop arrival schedule. Request i of the schedule is lookup i of
 // the wrapped machine; arrivals are processed lazily (and exactly) at each
 // Pull, which is correct because the queue only ever drains at pulls.
 //
+// The queue is a power-of-two ring buffer: admit writes at the tail, a pull
+// reads at the head, both O(1) with no copying or reslicing in steady state
+// (an unbounded queue doubles the ring only when its depth outgrows it).
+//
 // A QueueSource is single-run state: build a fresh one per (engine, core)
-// execution.
+// execution. Close releases its ring for reuse by later sources.
 type QueueSource[S any] struct {
 	m        exec.Machine[S]
 	arrivals []uint64
@@ -52,9 +78,14 @@ type QueueSource[S any] struct {
 	capacity int
 	rec      *Recorder
 
-	next  int   // next schedule index not yet admitted or dropped
-	queue []int // admitted request indices, FIFO
-	head  int   // first live element of queue
+	next int // next schedule index not yet admitted or dropped
+
+	// Admitted request indices live in ring[head&mask .. tail&mask); head
+	// and tail increase monotonically, so tail-head is the queue depth.
+	ringP      *[]int32
+	ring       []int32
+	mask       int
+	head, tail int
 }
 
 // NewQueueSource builds a source serving the machine's lookups at the given
@@ -63,8 +94,12 @@ type QueueSource[S any] struct {
 // which forces the Block policy. The recorder may be shared with the caller
 // for reading afterwards; it must not be shared with another live source.
 func NewQueueSource[S any](m exec.Machine[S], arrivals []uint64, capacity int, policy Policy, rec *Recorder) *QueueSource[S] {
-	if n := m.NumLookups(); len(arrivals) > n {
+	n := m.NumLookups()
+	if len(arrivals) > n {
 		arrivals = arrivals[:n]
+	}
+	if len(arrivals) > 1<<31-1 {
+		panic("serve: arrival schedule exceeds 2^31-1 requests")
 	}
 	if capacity <= 0 {
 		capacity = 0
@@ -73,14 +108,44 @@ func NewQueueSource[S any](m exec.Machine[S], arrivals []uint64, capacity int, p
 	if rec == nil {
 		rec = &Recorder{}
 	}
-	return &QueueSource[S]{m: m, arrivals: arrivals, policy: policy, capacity: capacity, rec: rec}
+	q := &QueueSource[S]{m: m, arrivals: arrivals, policy: policy, capacity: capacity, rec: rec}
+	// A bounded queue never holds more than capacity entries, so its ring is
+	// sized once and never grows.
+	q.ringP = getRing(capacity)
+	q.ring = *q.ringP
+	q.mask = len(q.ring) - 1
+	return q
+}
+
+// Close releases the source's ring buffer back to the shared pool. The
+// source must not be used afterwards.
+func (q *QueueSource[S]) Close() {
+	if q.ringP == nil {
+		return
+	}
+	ringPool.Put(q.ringP)
+	q.ringP = nil
+	q.ring = nil
 }
 
 // Recorder returns the recorder accumulating this source's statistics.
 func (q *QueueSource[S]) Recorder() *Recorder { return q.rec }
 
 // depth returns the number of admitted, not-yet-pulled requests.
-func (q *QueueSource[S]) depth() int { return len(q.queue) - q.head }
+func (q *QueueSource[S]) depth() int { return q.tail - q.head }
+
+// grow doubles the ring (unbounded queues only), relinking the live entries
+// in FIFO order.
+func (q *QueueSource[S]) grow() {
+	old, oldMask := q.ring, q.mask
+	p := getRing(2 * len(old))
+	q.ringP, q.ring = p, *p
+	q.mask = len(q.ring) - 1
+	for i := q.head; i < q.tail; i++ {
+		q.ring[i&q.mask] = old[i&oldMask]
+	}
+	ringPool.Put(&old)
+}
 
 // admit processes every arrival due at or before now, in arrival order:
 // admitted while there is room, dropped (under Drop) once the queue is
@@ -98,15 +163,14 @@ func (q *QueueSource[S]) admit(c *memsim.Core, now uint64) {
 			// Block: the request waits outside the queue; stop admitting.
 			return
 		}
+		if q.depth() == len(q.ring) {
+			q.grow()
+		}
 		c.Instr(costAdmit)
 		q.rec.Offered++
-		q.queue = append(q.queue, q.next)
+		q.ring[q.tail&q.mask] = int32(q.next)
+		q.tail++
 		q.next++
-	}
-	// Reclaim the drained prefix once it dominates the backing array.
-	if q.head > 64 && q.head*2 > len(q.queue) {
-		q.queue = append(q.queue[:0], q.queue[q.head:]...)
-		q.head = 0
 	}
 }
 
@@ -119,7 +183,7 @@ func (q *QueueSource[S]) Pull(c *memsim.Core, s *S, now uint64) exec.PullResult 
 	q.admit(c, now)
 	q.rec.sampleDepth(q.depth())
 	if q.depth() > 0 {
-		idx := q.queue[q.head]
+		idx := int(q.ring[q.head&q.mask])
 		q.head++
 		c.Instr(costPop)
 		req := exec.Request{Index: idx, Admit: q.arrivals[idx]}

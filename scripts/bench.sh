@@ -2,7 +2,7 @@
 # bench.sh — run the full simulator benchmark suite and record the results.
 #
 # Produces two artifacts:
-#   1. BENCH_pr3.json (via `amacbench -bench`): per-benchmark ns/op,
+#   1. BENCH_pr4.json (via `amacbench -bench`): per-benchmark ns/op,
 #      allocs/op and simulated cycles, machine-readable.
 #   2. bench_gotest.txt: the raw `go test -bench` output for the bench_test.go
 #      suite, which is the wall-clock baseline the perf work is judged by.
@@ -14,7 +14,7 @@
 #   git checkout <after>  && scripts/bench.sh out-after
 #   benchstat out-before/bench_gotest.txt out-after/bench_gotest.txt
 #
-# The simulated-cycle columns of BENCH_pr3.json must be identical between
+# The simulated-cycle columns of BENCH_pr4.json must be identical between
 # revisions: optimizations may change how fast the model runs, never what it
 # computes (the golden cycle-count tests enforce the same invariant).
 
@@ -30,6 +30,6 @@ echo ">> go test -bench (benchtime $benchtime)"
 go test -run '^$' -bench . -benchmem -benchtime "$benchtime" . | tee "$outdir/bench_gotest.txt"
 
 echo ">> amacbench -bench (scale $scale)"
-go run ./cmd/amacbench -bench -benchout "$outdir/BENCH_pr3.json" -scale "$scale"
+go run ./cmd/amacbench -bench -benchout "$outdir/BENCH_pr4.json" -scale "$scale"
 
-echo ">> wrote $outdir/bench_gotest.txt and $outdir/BENCH_pr3.json"
+echo ">> wrote $outdir/bench_gotest.txt and $outdir/BENCH_pr4.json"
