@@ -13,6 +13,7 @@
 //	amacbench -exp scaleN -workers 8    # sweep the parallel engine up to 8 workers
 //	amacbench -exp serveN               # streaming service: arrival-rate sweep
 //	amacbench -exp serveN -arrivals bursty -qcap 64  # bursty traffic, bounded drop queue
+//	amacbench -exp adaptN               # adaptive execution vs every static config
 //	amacbench -exp serveN -json         # machine-readable results, one JSON object per row
 //	amacbench -bench                    # benchmark suite -> BENCH_pr4.json
 //	amacbench -bench -benchgate BENCH_pr4.json  # CI gate: fail on >3x ns/op regressions
@@ -117,6 +118,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
 		os.Exit(2)
 	}
+	if err := validateServingFlags(*exp, *bench, *arrivals, *qcap); err != nil {
+		fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
+		os.Exit(2)
+	}
 	sc, err := experiments.ParseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -169,6 +174,37 @@ func main() {
 		}
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// servingExperiments are the experiment ids whose runs consume the serving
+// flags: -arrivals selects their traffic shape and -qcap their queue bound.
+// Every other experiment ignores both.
+var servingExperiments = map[string]bool{
+	"serveN": true,
+	"adaptN": true,
+}
+
+// validateServingFlags rejects -arrivals/-qcap combinations that would
+// silently no-op: the flags only affect the serving experiments, so asking
+// for them alongside a non-serving experiment (or -bench, whose serving
+// scenarios are fixed) is a mistake, not a preference.
+func validateServingFlags(exp string, bench bool, arrivals string, qcap int) error {
+	if arrivals == "" && qcap == 0 {
+		return nil
+	}
+	set := "-arrivals"
+	if arrivals == "" {
+		set = "-qcap"
+	} else if qcap != 0 {
+		set = "-arrivals/-qcap"
+	}
+	if bench {
+		return fmt.Errorf("%s has no effect with -bench (the benchmark suite fixes its serving scenarios)", set)
+	}
+	if exp == "all" || servingExperiments[exp] {
+		return nil
+	}
+	return fmt.Errorf("%s only affects the serving experiments (serveN, adaptN), not %q; drop the flag or pick a serving experiment", set, exp)
 }
 
 // listExperiments prints every registered experiment id and title.

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateServingFlags: -arrivals/-qcap must be rejected whenever they
+// would silently no-op — any non-serving experiment, and the benchmark
+// suite — and accepted for the serving experiments and -exp all.
+func TestValidateServingFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		exp      string
+		bench    bool
+		arrivals string
+		qcap     int
+		wantErr  string // substring; empty means valid
+	}{
+		{name: "no serving flags", exp: "fig6"},
+		{name: "serveN with arrivals", exp: "serveN", arrivals: "bursty"},
+		{name: "serveN with qcap", exp: "serveN", qcap: 64},
+		{name: "adaptN with both", exp: "adaptN", arrivals: "poisson", qcap: 32},
+		{name: "all includes serving", exp: "all", arrivals: "deterministic"},
+		{name: "fig6 with arrivals", exp: "fig6", arrivals: "bursty", wantErr: "-arrivals only affects"},
+		{name: "fig5b with qcap", exp: "fig5b", qcap: 8, wantErr: "-qcap only affects"},
+		{name: "table3 with both", exp: "table3", arrivals: "poisson", qcap: 4, wantErr: "-arrivals/-qcap only affects"},
+		{name: "scaleN with qcap", exp: "scaleN", qcap: 16, wantErr: "only affects the serving experiments"},
+		{name: "bench with arrivals", bench: true, arrivals: "bursty", wantErr: "no effect with -bench"},
+		{name: "bench with qcap", bench: true, qcap: 8, wantErr: "no effect with -bench"},
+		{name: "bench without serving flags", bench: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateServingFlags(tc.exp, tc.bench, tc.arrivals, tc.qcap)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected an error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestServingExperimentsRegistered: the validator's notion of which
+// experiments consume the serving flags must match the registry, so a
+// future serving experiment cannot silently fall out of the allowlist.
+func TestServingExperimentsRegistered(t *testing.T) {
+	for id := range servingExperiments {
+		if err := validateServingFlags(id, false, "bursty", 8); err != nil {
+			t.Fatalf("serving experiment %q rejected: %v", id, err)
+		}
+	}
+}

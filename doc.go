@@ -26,6 +26,11 @@
 //     RunStream and the per-technique stream engines, RunService), which
 //     serves the same operators under open-loop load and accounts
 //     per-request latency,
+//   - the adaptive execution subsystem (AdaptiveController, RunAdaptive,
+//     RunStreamAdaptive, WidthAIMD), which picks the technique per phase
+//     online and resizes the AMAC slot window mid-run from per-window
+//     execution samples — the paper's Section 6 flexibility argument as a
+//     feedback loop,
 //   - the experiment harness that regenerates every table and figure of the
 //     paper's evaluation (Experiments, RunExperiment; also exposed through
 //     cmd/amacbench).

@@ -1,0 +1,276 @@
+package adapt_test
+
+import (
+	"testing"
+
+	"amac/internal/adapt"
+	"amac/internal/exec"
+	"amac/internal/exec/exectest"
+	"amac/internal/memsim"
+	"amac/internal/ops"
+	"amac/internal/xrand"
+)
+
+func newCore() *memsim.Core {
+	sys := memsim.MustSystem(memsim.XeonX5670())
+	return sys.NewCore()
+}
+
+func chainLengths(n, l int) []int {
+	ls := make([]int, n)
+	for i := range ls {
+		ls[i] = l
+	}
+	return ls
+}
+
+func mixedLengths(n int, seed uint64) []int {
+	rng := xrand.New(seed)
+	ls := make([]int, n)
+	for i := range ls {
+		ls[i] = 1 + rng.Intn(6)
+	}
+	return ls
+}
+
+// window fabricates a probe window with the given busy profile.
+func window(width, completed int, cycles, stall, mshrFullWait uint64) exec.Window {
+	return exec.Window{
+		Width: width, Completed: completed,
+		Cycles: cycles, StallCycles: stall, MSHRFullWaitCycles: mshrFullWait,
+	}
+}
+
+// TestWidthAIMDGrowsWhenMemoryBound: sustained high stall fraction with free
+// MSHRs grows the window additively after Patience windows.
+func TestWidthAIMDGrowsWhenMemoryBound(t *testing.T) {
+	a := adapt.NewWidthAIMD(8, 2, 32)
+	w := window(8, 50, 1000, 600, 0)
+	if got := a.Sample(w); got != 8 {
+		t.Fatalf("first memory-bound window must not act yet (hysteresis), got %d", got)
+	}
+	if got := a.Sample(w); got != 9 {
+		t.Fatalf("second consecutive memory-bound window should grow to 9, got %d", got)
+	}
+}
+
+// TestWidthAIMDBacksOffOnSaturation: visible MSHR-full waits shrink the
+// window multiplicatively.
+func TestWidthAIMDBacksOffOnSaturation(t *testing.T) {
+	a := adapt.NewWidthAIMD(16, 2, 32)
+	w := window(16, 50, 1000, 700, 100)
+	a.Sample(w)
+	if got := a.Sample(w); got != 12 {
+		t.Fatalf("saturation should back off 16 -> 12 (W - W/4), got %d", got)
+	}
+}
+
+// TestWidthAIMDGlidesWhenComputeBound: low stall fraction glides the window
+// down one slot at a time.
+func TestWidthAIMDGlidesWhenComputeBound(t *testing.T) {
+	a := adapt.NewWidthAIMD(10, 2, 32)
+	w := window(10, 50, 1000, 50, 0)
+	a.Sample(w)
+	if got := a.Sample(w); got != 9 {
+		t.Fatalf("compute-bound phase should glide 10 -> 9, got %d", got)
+	}
+}
+
+// TestWidthAIMDHysteresis: alternating signals never move the width, and a
+// change is followed by a cooldown during which nothing happens.
+func TestWidthAIMDHysteresis(t *testing.T) {
+	a := adapt.NewWidthAIMD(10, 2, 32)
+	grow := window(10, 50, 1000, 600, 0)
+	calm := window(10, 50, 1000, 50, 0)
+	for i := 0; i < 6; i++ {
+		var got int
+		if i%2 == 0 {
+			got = a.Sample(grow)
+		} else {
+			got = a.Sample(calm)
+		}
+		if got != 10 {
+			t.Fatalf("alternating signals moved the width to %d at step %d", got, i)
+		}
+	}
+
+	// Two consistent windows act...
+	a.Sample(grow)
+	if got := a.Sample(grow); got != 11 {
+		t.Fatalf("want growth to 11, got %d", got)
+	}
+	// ...then the cooldown holds even under a consistent signal.
+	if got := a.Sample(grow); got != 11 {
+		t.Fatalf("cooldown window must hold at 11, got %d", got)
+	}
+	if got := a.Sample(grow); got != 11 {
+		t.Fatalf("cooldown window must hold at 11, got %d", got)
+	}
+}
+
+// TestWidthAIMDRespectsBounds: the width never leaves [Min, Max].
+func TestWidthAIMDRespectsBounds(t *testing.T) {
+	a := adapt.NewWidthAIMD(3, 2, 4)
+	grow := window(3, 50, 1000, 600, 0)
+	for i := 0; i < 40; i++ {
+		if got := a.Sample(grow); got > 4 {
+			t.Fatalf("width %d exceeded Max 4", got)
+		}
+	}
+	a = adapt.NewWidthAIMD(3, 2, 4)
+	satur := window(3, 50, 1000, 700, 200)
+	for i := 0; i < 40; i++ {
+		if got := a.Sample(satur); got < 2 {
+			t.Fatalf("width %d fell below Min 2", got)
+		}
+	}
+}
+
+// adaptCfg keeps segments small enough that a few-hundred-lookup test run
+// still exercises probe, exploit and drift.
+func adaptCfg() adapt.Config {
+	return adapt.Config{SegmentLookups: 256, ProbeLookups: 32}
+}
+
+// TestAdaptiveRunCompletesAllLookups: the adaptive executor must run every
+// lookup exactly once with exactly the right number of node visits, across
+// probe epochs, technique switches and width resizes.
+func TestAdaptiveRunCompletesAllLookups(t *testing.T) {
+	m := exectest.NewChainMachine(mixedLengths(2000, 5), 7)
+	ctl := adapt.NewController(adaptCfg())
+	info := adapt.Run(newCore(), m, ctl)
+	if len(m.Completions) != 2000 {
+		t.Fatalf("completed %d of 2000 lookups", len(m.Completions))
+	}
+	seen := make(map[int]bool)
+	for _, idx := range m.Completions {
+		if seen[idx] {
+			t.Fatalf("lookup %d completed twice", idx)
+		}
+		seen[idx] = true
+	}
+	for i, want := range m.Lengths {
+		if m.Visits[i] != want {
+			t.Fatalf("lookup %d visited %d nodes, want %d", i, m.Visits[i], want)
+		}
+	}
+	if info.Probes < 1 {
+		t.Fatalf("no probe epoch ran: %+v", info)
+	}
+	total := 0
+	for _, n := range info.Lookups {
+		total += n
+	}
+	if total != 2000 {
+		t.Fatalf("technique tallies cover %d of 2000 lookups", total)
+	}
+}
+
+// TestAdaptivePicksAMACOnMissHeavyChains: on DRAM-resident pointer chains —
+// the paper's home turf — the probe epoch must select AMAC and the width
+// controller must keep a multi-slot window.
+func TestAdaptivePicksAMACOnMissHeavyChains(t *testing.T) {
+	m := exectest.NewChainMachine(chainLengths(4000, 4), 5)
+	ctl := adapt.NewController(adaptCfg())
+	info := adapt.Run(newCore(), m, ctl)
+	if info.Final != ops.AMAC {
+		t.Fatalf("final technique = %v, want AMAC on miss-heavy chains (%v)", info.Final, info)
+	}
+	if info.Share(ops.AMAC) < 0.8 {
+		t.Fatalf("AMAC served only %.0f%% of lookups: %v", 100*info.Share(ops.AMAC), info)
+	}
+	if info.Sched.MaxWidth < 4 {
+		t.Fatalf("width never grew past %d on a memory-bound phase: %v", info.Sched.MaxWidth, info)
+	}
+}
+
+// TestAdaptiveReprobesOnPhaseShift: a Concat whose second half has chains an
+// order of magnitude longer must push the observed cost out of the drift
+// band and trigger a second probe epoch.
+func TestAdaptiveReprobesOnPhaseShift(t *testing.T) {
+	short := exectest.NewChainMachine(chainLengths(1500, 1), 3)
+	long := exectest.NewChainMachine(chainLengths(1500, 12), 13)
+	m := exec.NewConcat[exectest.ChainState](short, long)
+	ctl := adapt.NewController(adaptCfg())
+	info := adapt.Run(newCore(), m, ctl)
+	if got := len(short.Completions) + len(long.Completions); got != 3000 {
+		t.Fatalf("completed %d of 3000 lookups", got)
+	}
+	if info.Probes < 2 {
+		t.Fatalf("phase shift did not trigger a re-probe: %v", info)
+	}
+}
+
+// TestAdaptiveControllerPersistsAcrossRuns: two heterogeneous machines run
+// back to back under one controller retune at the boundary through the same
+// drift machinery, and the tallies accumulate.
+func TestAdaptiveControllerPersistsAcrossRuns(t *testing.T) {
+	ctl := adapt.NewController(adaptCfg())
+	a := exectest.NewChainMachine(chainLengths(1200, 1), 3)
+	adapt.Run(newCore(), a, ctl)
+	b := exectest.NewChainMachine(chainLengths(1200, 10), 11)
+	info := adapt.Run(newCore(), b, ctl)
+	if len(a.Completions) != 1200 || len(b.Completions) != 1200 {
+		t.Fatalf("completions %d + %d, want 1200 each", len(a.Completions), len(b.Completions))
+	}
+	if info.Probes < 2 {
+		t.Fatalf("operator boundary did not retune: %v", info)
+	}
+	total := 0
+	for _, n := range info.Lookups {
+		total += n
+	}
+	if total != 2400 {
+		t.Fatalf("tallies cover %d of 2400 lookups across runs", total)
+	}
+}
+
+// TestAdaptiveStreamCompletesAll: the lease-based streaming runner serves
+// every request exactly once and reports aggregated scheduler stats.
+func TestAdaptiveStreamCompletesAll(t *testing.T) {
+	m := exectest.NewChainMachine(mixedLengths(3000, 17), 7)
+	src := exec.NewMachineSource[exectest.ChainState](m)
+	ctl := adapt.NewController(adapt.Config{RetuneRequests: 256, ProbeRequests: 64})
+	adapt.RunStream(newCore(), src, ctl, nil)
+	if len(m.Completions) != 3000 {
+		t.Fatalf("served %d of 3000 requests", len(m.Completions))
+	}
+	seen := make(map[int]bool)
+	for _, idx := range m.Completions {
+		if seen[idx] {
+			t.Fatalf("request %d served twice", idx)
+		}
+		seen[idx] = true
+	}
+	info := ctl.Info()
+	if info.Probes < 1 || info.Segments < 4 {
+		t.Fatalf("stream controller barely ran: %v", info)
+	}
+}
+
+// TestConcatMatchesSequentialRuns: Concat is a pure view — running it under
+// any engine visits exactly the nodes the two phases would visit separately.
+func TestConcatMatchesSequentialRuns(t *testing.T) {
+	for _, tech := range ops.Techniques {
+		a := exectest.NewChainMachine(mixedLengths(300, 1), 7)
+		b := exectest.NewChainMachine(mixedLengths(300, 2), 7)
+		m := exec.NewConcat[exectest.ChainState](a, b)
+		if m.NumLookups() != 600 {
+			t.Fatalf("concat lookups = %d", m.NumLookups())
+		}
+		ops.RunMachine(newCore(), m, tech, ops.Params{Window: 8})
+		if len(a.Completions) != 300 || len(b.Completions) != 300 {
+			t.Fatalf("%v: completions %d + %d, want 300 each", tech, len(a.Completions), len(b.Completions))
+		}
+		for i, want := range a.Lengths {
+			if a.Visits[i] != want {
+				t.Fatalf("%v: phase A lookup %d visited %d, want %d", tech, i, a.Visits[i], want)
+			}
+		}
+		for i, want := range b.Lengths {
+			if b.Visits[i] != want {
+				t.Fatalf("%v: phase B lookup %d visited %d, want %d", tech, i, b.Visits[i], want)
+			}
+		}
+	}
+}

@@ -42,6 +42,17 @@ const CostStateSwap = 6
 // (10 L1-D MSHRs on the Xeon) and recommends values near it.
 const DefaultWidth = 10
 
+// CostProbe models the adaptive controller's per-window overhead: reading a
+// handful of PMU counters, computing the window deltas and running the
+// resize policy. Charged only when a controller is attached, so static runs
+// pay nothing.
+const CostProbe = 8
+
+// DefaultProbeFactor sets the default probe interval as a multiple of the
+// slot-window width: one sample every width*DefaultProbeFactor completions
+// keeps controller overhead well under a tenth of a percent of the run.
+const DefaultProbeFactor = 4
+
 // Options tunes the AMAC scheduler.
 type Options struct {
 	// Width is the number of circular-buffer entries (in-flight lookups).
@@ -52,6 +63,53 @@ type Options struct {
 	// empty until the rolling counter wraps around to it again. Used by the
 	// ablation experiments; the paper's AMAC always refills immediately.
 	DisableImmediateRefill bool
+	// Controller, if non-nil, is sampled every ProbeInterval completions
+	// with the window's execution stats and may resize the slot window
+	// mid-run (Section 6's dynamic-adjustment argument made concrete).
+	// Growth activates fresh slots immediately; shrinkage stops refilling
+	// the surplus slots and retires each as its in-flight lookup completes,
+	// so no lookup is ever abandoned or restarted. Nil keeps the engine
+	// bit-identical to the static scheduler.
+	Controller exec.WidthController
+	// MaxWidth caps controller-driven growth (and sizes the slot buffer).
+	// Zero selects 4x the starting width, at least DefaultWidth.
+	MaxWidth int
+	// ProbeInterval is the number of completions between controller
+	// samples. Zero selects Width*DefaultProbeFactor.
+	ProbeInterval int
+}
+
+// maxWidth resolves the slot-buffer capacity for a controller-driven run.
+func (o Options) maxWidth(width int) int {
+	m := o.MaxWidth
+	if m <= 0 {
+		m = 4 * width
+		if m < DefaultWidth {
+			m = DefaultWidth
+		}
+	}
+	if m < width {
+		m = width
+	}
+	return m
+}
+
+// MinProbeInterval floors the default probe spacing: windows narrower than
+// this carry too few completions for a stable cycles-per-completion signal
+// (one cold outlier in an 8-completion window doubles its cost), so even a
+// narrow slot window samples at least this many completions per window.
+const MinProbeInterval = 32
+
+// probeInterval resolves the completions-per-sample probe spacing.
+func (o Options) probeInterval(width int) int {
+	if o.ProbeInterval > 0 {
+		return o.ProbeInterval
+	}
+	n := width * DefaultProbeFactor
+	if n < MinProbeInterval {
+		n = MinProbeInterval
+	}
+	return n
 }
 
 // slot is one circular-buffer entry. The lookup's operator-specific state
@@ -87,16 +145,67 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
 		width = n
 	}
 
+	// With a controller attached the slot buffer is provisioned at the
+	// growth cap; the active window [0, width) moves inside it. The static
+	// path allocates exactly the requested width, as before.
+	ctl := opts.Controller
+	capW := width
+	var probe widthProbe
+	if ctl != nil {
+		capW = opts.maxWidth(width)
+		if capW > n {
+			capW = n
+		}
+		probe = newWidthProbe(c, opts.probeInterval(width))
+	}
+
 	var stats RunStats
 	stats.Width = width
+	stats.MinWidth, stats.MaxWidth = width, width
 
-	states, putStates := exec.GetStates[S](width)
+	states, putStates := exec.GetStates[S](capW)
 	defer putStates()
-	slotsP := getSlots(width)
+	slotsP := getSlots(capW)
 	defer slotPool.Put(slotsP)
 	slots := *slotsP
 	next := 0 // next input lookup to initiate
 	live := 0 // slots holding unfinished lookups
+
+	// admit is the refill bound: slots [0, admit) may initiate lookups.
+	// Normally admit == width; after a shrink, admit drops first and width
+	// follows once the draining slots in [admit, width) retire.
+	admit := width
+	draining := 0
+
+	// applyWidth resizes the active window to target (already clamped).
+	// Growth activates zeroed slots immediately; shrinkage closes admission
+	// and lets the surplus in-flight lookups finish where they are.
+	applyWidth := func(target int) {
+		if target == admit {
+			return
+		}
+		stats.WidthChanges++
+		if target < stats.MinWidth {
+			stats.MinWidth = target
+		}
+		if target > stats.MaxWidth {
+			stats.MaxWidth = target
+		}
+		if target >= width {
+			width, admit, draining = target, target, 0
+			return
+		}
+		admit = target
+		draining = 0
+		for i := admit; i < width; i++ {
+			if slots[i].busy {
+				draining++
+			}
+		}
+		if draining == 0 {
+			width = admit
+		}
+	}
 
 	// Prologue: fill the circular buffer, issuing one prefetch per lookup.
 	for k := 0; k < width && next < n; k++ {
@@ -116,13 +225,28 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
 	// Main loop: the rolling counter k walks the buffer; each visit runs one
 	// code stage for the lookup stored in that slot.
 	k := 0
-	for live > 0 || next < n {
-		if k == width {
+	stopped := false
+	for live > 0 || (next < n && !stopped) {
+		if k >= width {
 			k = 0
+		}
+		// Sampling stops with the run: a stopped engine only drains, and a
+		// late positive verdict must not reopen admission.
+		if ctl != nil && !stopped && stats.Completed-probe.lastCompleted >= probe.interval {
+			switch target := ctl.Sample(probe.sample(c, admit, stats.Completed)); {
+			case target < 0:
+				// StopRun: close admission and let the in-flight lookups
+				// drain; Initiated tells the caller where to resume.
+				stopped = true
+				admit = 0
+				draining = 0
+			case target > 0:
+				applyWidth(clampWidth(target, capW))
+			}
 		}
 		s := &slots[k]
 		if !s.busy {
-			if next < n {
+			if k < admit && next < n {
 				c.Instr(CostStateSwap)
 				out := m.Init(c, &states[k], next)
 				next++
@@ -160,11 +284,18 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
 
 		// The lookup completed. Initiate a new lookup in the same slot right
 		// away so an in-flight memory access is never wasted (unless the
-		// ablation disabled it or the input is exhausted).
+		// ablation disabled it, the input is exhausted, or the slot is
+		// draining out of a shrunk window).
 		stats.Completed++
 		live--
 		*s = slot{}
-		if !opts.DisableImmediateRefill && next < n {
+		if k >= admit {
+			if draining > 0 {
+				if draining--; draining == 0 {
+					width = admit
+				}
+			}
+		} else if !opts.DisableImmediateRefill && next < n {
 			c.Instr(CostStateSwap)
 			out := m.Init(c, &states[k], next)
 			next++
@@ -182,6 +313,61 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
 	return stats
 }
 
+// clampWidth bounds a controller's requested width to [1, cap].
+func clampWidth(target, cap int) int {
+	if target < 1 {
+		return 1
+	}
+	if target > cap {
+		return cap
+	}
+	return target
+}
+
+// widthProbe tracks the between-samples counter state of a controller-driven
+// run: the previous Stats snapshot and the completion count at the last
+// sample.
+type widthProbe struct {
+	interval      int
+	lastCompleted int
+	prev          memsim.Stats
+}
+
+// newWidthProbe starts the window clock at the current counters.
+func newWidthProbe(c *memsim.Core, interval int) widthProbe {
+	if interval < 1 {
+		interval = 1
+	}
+	return widthProbe{interval: interval, prev: c.Stats()}
+}
+
+// sample charges the controller overhead, builds the window delta since the
+// previous sample and restarts the window.
+func (p *widthProbe) sample(c *memsim.Core, admit, completed int) exec.Window {
+	c.Instr(CostProbe)
+	cur := c.Stats()
+	w := exec.Window{
+		Width:              admit,
+		Completed:          completed - p.lastCompleted,
+		Outstanding:        c.MSHROutstanding(),
+		Cycles:             cur.Cycles - p.prev.Cycles,
+		Instructions:       cur.Instructions - p.prev.Instructions,
+		StallCycles:        cur.StallCycles - p.prev.StallCycles,
+		IdleCycles:         cur.IdleCycles - p.prev.IdleCycles,
+		Loads:              cur.Loads - p.prev.Loads,
+		MSHRHits:           cur.MSHRHits - p.prev.MSHRHits,
+		MSHRHitWaitCycles:  cur.MSHRHitWaitCycles - p.prev.MSHRHitWaitCycles,
+		MSHRFullStalls:     cur.MSHRFullStalls - p.prev.MSHRFullStalls,
+		MSHRFullWaitCycles: cur.MSHRFullWaitCycles - p.prev.MSHRFullWaitCycles,
+		MemAccesses:        cur.MemAccesses - p.prev.MemAccesses,
+		PrefetchIssued:     cur.PrefetchIssued - p.prev.PrefetchIssued,
+		PrefetchDropped:    cur.PrefetchDropped - p.prev.PrefetchDropped,
+	}
+	p.prev = cur
+	p.lastCompleted = completed
+	return w
+}
+
 // issue forwards a stage's prefetch request to the core.
 func issue(c *memsim.Core, o exec.Outcome) {
 	if o.Prefetch == 0 {
@@ -196,8 +382,14 @@ func issue(c *memsim.Core, o exec.Outcome) {
 
 // RunStats summarises one AMAC execution for tests and reports.
 type RunStats struct {
-	// Width is the circular-buffer size actually used.
+	// Width is the circular-buffer size the run started with.
 	Width int
+	// MinWidth and MaxWidth are the extremes the slot window reached; for a
+	// static run both equal Width (zero for an empty run).
+	MinWidth int
+	MaxWidth int
+	// WidthChanges counts controller-driven window resizes.
+	WidthChanges int
 	// Initiated counts lookups started (equals the machine's NumLookups
 	// when the run completes).
 	Initiated int
@@ -216,6 +408,13 @@ func (s *RunStats) Add(other RunStats) {
 	if other.Width > s.Width {
 		s.Width = other.Width
 	}
+	if other.MinWidth > 0 && (s.MinWidth == 0 || other.MinWidth < s.MinWidth) {
+		s.MinWidth = other.MinWidth
+	}
+	if other.MaxWidth > s.MaxWidth {
+		s.MaxWidth = other.MaxWidth
+	}
+	s.WidthChanges += other.WidthChanges
 	s.Initiated += other.Initiated
 	s.Completed += other.Completed
 	s.StageVisits += other.StageVisits

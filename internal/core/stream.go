@@ -49,22 +49,70 @@ func RunStream[S any](c *memsim.Core, src exec.Source[S], opts Options) RunStats
 		width = DefaultWidth
 	}
 
+	// Controller-driven runs provision the slot buffer at the growth cap and
+	// move the active window inside it, exactly as in the batch engine.
+	ctl := opts.Controller
+	capW := width
+	var probe widthProbe
+	if ctl != nil {
+		capW = opts.maxWidth(width)
+		probe = newWidthProbe(c, opts.probeInterval(width))
+	}
+
 	var stats RunStats
 	stats.Width = width
+	stats.MinWidth, stats.MaxWidth = width, width
 
-	states, putStates := exec.GetStates[S](width)
+	states, putStates := exec.GetStates[S](capW)
 	defer putStates()
-	slotsP := getStreamSlots(width)
+	slotsP := getStreamSlots(capW)
 	defer streamSlotPool.Put(slotsP)
 	slots := *slotsP
 	live := 0
 	exhausted := false
 	waitUntil := uint64(0) // no arrivals before this cycle; skip re-polling
 
+	// admit is the refill bound: slots [0, admit) may pull requests. After a
+	// shrink, admit drops first and width follows once the surplus in-flight
+	// lookups in [admit, width) complete and retire their slots.
+	//
+	// The resize bookkeeping deliberately mirrors core.Run's: the engines'
+	// slot types differ and both loops are zero-allocation hot paths, so the
+	// logic is kept in sync by the symmetric tests in resize_test.go rather
+	// than shared through a busy(i) callback that would escape to the heap.
+	admit := width
+	draining := 0
+	applyWidth := func(target int) {
+		if target == admit {
+			return
+		}
+		stats.WidthChanges++
+		if target < stats.MinWidth {
+			stats.MinWidth = target
+		}
+		if target > stats.MaxWidth {
+			stats.MaxWidth = target
+		}
+		if target >= width {
+			width, admit, draining = target, target, 0
+			return
+		}
+		admit = target
+		draining = 0
+		for i := admit; i < width; i++ {
+			if slots[i].busy {
+				draining++
+			}
+		}
+		if draining == 0 {
+			width = admit
+		}
+	}
+
 	// tryFill pulls the next admitted request into empty slot k; it returns
 	// true if the slot now holds an in-flight lookup.
 	tryFill := func(k int) bool {
-		if exhausted || c.Cycle() < waitUntil {
+		if k >= admit || exhausted || c.Cycle() < waitUntil {
 			return false
 		}
 		c.Instr(CostStateSwap)
@@ -93,14 +141,29 @@ func RunStream[S any](c *memsim.Core, src exec.Source[S], opts Options) RunStats
 	}
 
 	k := 0
+	stopped := false
 	for {
-		if k == width {
+		if k >= width {
 			k = 0
+		}
+		// Sampling stops with the run: a stopped engine only drains, and a
+		// late positive verdict must not reopen admission.
+		if ctl != nil && !stopped && stats.Completed-probe.lastCompleted >= probe.interval {
+			switch target := ctl.Sample(probe.sample(c, admit, stats.Completed)); {
+			case target < 0:
+				// StopRun: close admission and let the in-flight lookups
+				// drain; the source keeps the unserved requests.
+				stopped = true
+				admit = 0
+				draining = 0
+			case target > 0:
+				applyWidth(clampWidth(target, capW))
+			}
 		}
 		s := &slots[k]
 		if !s.busy {
 			if !tryFill(k) && live == 0 {
-				if exhausted {
+				if exhausted || stopped {
 					return stats
 				}
 				// Nothing in flight and nothing admitted: sleep until the
@@ -131,12 +194,19 @@ func RunStream[S any](c *memsim.Core, src exec.Source[S], opts Options) RunStats
 
 		// The lookup completed: report it and refill the slot right away so
 		// an in-flight memory access is never wasted (unless the ablation
-		// disabled immediate refill).
+		// disabled immediate refill or the slot is draining out of a shrunk
+		// window).
 		stats.Completed++
 		live--
 		src.Complete(s.req, c.Cycle())
 		*s = streamSlot{}
-		if !opts.DisableImmediateRefill {
+		if k >= admit {
+			if draining > 0 {
+				if draining--; draining == 0 {
+					width = admit
+				}
+			}
+		} else if !opts.DisableImmediateRefill {
 			tryFill(k)
 		}
 		k++

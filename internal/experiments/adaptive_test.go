@@ -1,0 +1,164 @@
+package experiments
+
+// Shape tests for the adaptive execution subsystem, mirroring the adaptN
+// acceptance criteria at test speed on the scaled hierarchy: on steady
+// phases the adaptive controller must land within 5% of the best static
+// configuration, and on phase-shifting workloads it must strictly beat
+// every static configuration, because no fixed technique/width is right for
+// both halves.
+
+import (
+	"testing"
+
+	"amac/internal/adapt"
+	"amac/internal/memsim"
+	"amac/internal/ops"
+	"amac/internal/relation"
+)
+
+// shapeAdaptCfg keeps probe epochs and drift checks meaningful at 2^16-
+// lookup test workloads.
+func shapeAdaptCfg() adapt.Config {
+	return adapt.Config{SegmentLookups: 1024, ProbeLookups: 128}
+}
+
+// runAdaptShape measures one workload under every static configuration and
+// under the adaptive controller, returning cycles per lookup per column.
+func runAdaptShape(t *testing.T, machine memsim.Config, mk func() adaptExec) (static map[string]float64, adaptive float64) {
+	t.Helper()
+	static = adaptStaticGrid(t, machine, mk)
+	ex := mk()
+	c := adaptCore(machine, ex)
+	ctl := adapt.NewController(shapeAdaptCfg())
+	ex.adaptive(c, ctl)
+	adaptive = float64(c.Cycle()) / float64(ex.lookups)
+	return static, adaptive
+}
+
+func adaptStaticGrid(t *testing.T, machine memsim.Config, mk func() adaptExec) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for _, s := range adaptStatics {
+		ex := mk()
+		c := adaptCore(machine, ex)
+		ex.static(c, s.tech, s.window)
+		out[s.label] = float64(c.Cycle()) / float64(ex.lookups)
+	}
+	return out
+}
+
+func bestStatic(static map[string]float64) (string, float64) {
+	bestLabel, best := "", 0.0
+	for label, v := range static {
+		if best == 0 || v < best {
+			bestLabel, best = label, v
+		}
+	}
+	return bestLabel, best
+}
+
+const shapeAdaptN = 1 << 16
+
+// TestShapeAdaptiveSteadyPhases: on a cache-resident dimension join and a
+// DRAM-resident join the adaptive controller must be within 5% of the best
+// static configuration (the acceptance bar of ISSUE 5).
+func TestShapeAdaptiveSteadyPhases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests take a few seconds")
+	}
+	machine := scaledXeon()
+	cases := []struct {
+		name string
+		mk   func() adaptExec
+	}{
+		{"dim join (cache-resident)", func() adaptExec {
+			return adaptJoinExec(defaultEnv, relation.JoinSpec{BuildSize: 1 << 8, ProbeSize: shapeAdaptN, Seed: 5})
+		}},
+		{"big join (DRAM-resident)", func() adaptExec {
+			return adaptJoinExec(defaultEnv, relation.JoinSpec{BuildSize: shapeAdaptN, ProbeSize: shapeAdaptN, Seed: 5})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			static, adaptive := runAdaptShape(t, machine, tc.mk)
+			label, best := bestStatic(static)
+			if adaptive > best*1.05 {
+				t.Errorf("adaptive %.1f cycles/lookup is more than 5%% off the best static %s (%.1f); statics: %v",
+					adaptive, label, best, static)
+			}
+		})
+	}
+}
+
+// TestShapeAdaptiveBeatsStaticsOnPhaseShifts: on workloads whose character
+// shifts mid-run — a dimension table giving way to a DRAM-resident one, and
+// a cache-resident BST giving way to a DRAM-resident skip list — the
+// adaptive controller must strictly beat every static configuration (the
+// acceptance bar's "at least two phase-shifting workloads").
+func TestShapeAdaptiveBeatsStaticsOnPhaseShifts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests take a few seconds")
+	}
+	machine := scaledXeon()
+	cases := []struct {
+		name string
+		mk   func() adaptExec
+	}{
+		{"dim→big join", func() adaptExec {
+			return adaptShiftJoinExec(1<<8, shapeAdaptN, shapeAdaptN/2, 5)
+		}},
+		{"BST→skip list", func() adaptExec {
+			return adaptMixExec(1<<8, 1<<14, 5)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			static, adaptive := runAdaptShape(t, machine, tc.mk)
+			label, best := bestStatic(static)
+			if adaptive >= best {
+				t.Errorf("adaptive %.1f cycles/lookup does not beat the best static %s (%.1f); statics: %v",
+					adaptive, label, best, static)
+			}
+		})
+	}
+}
+
+// TestShapeAdaptiveHotColdTracksBest: the hot→cold probe workload at test
+// scale is dominated by its warm-up transient (the Zipf hot set warming
+// into the caches is a sizeable fraction of 2^15 probes), so the strict-win
+// bar belongs to the small-scale adaptN run recorded in EXPERIMENTS.md;
+// here the adaptive controller must stay within 10% of the best static.
+func TestShapeAdaptiveHotColdTracksBest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests take a few seconds")
+	}
+	static, adaptive := runAdaptShape(t, scaledXeon(), func() adaptExec {
+		return adaptHotColdExec(shapeAdaptN, shapeAdaptN/2, 5)
+	})
+	label, best := bestStatic(static)
+	if adaptive > best*1.10 {
+		t.Errorf("adaptive %.1f cycles/lookup is more than 10%% off the best static %s (%.1f); statics: %v",
+			adaptive, label, best, static)
+	}
+}
+
+// TestShapeAdaptiveOutputMatchesStatic: the adaptive executor's join output
+// must be identical to the static engines' output on the same workload.
+func TestShapeAdaptiveOutputMatchesStatic(t *testing.T) {
+	build, probe, err := relation.BuildJoin(relation.JoinSpec{BuildSize: 1 << 12, ProbeSize: 1 << 14, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := ops.NewHashJoin(build, probe)
+	j.PrebuildRaw()
+	wantCount, wantSum := j.ReferenceJoinFirstMatch()
+
+	out := ops.NewOutput(j.Arena, false)
+	sys := memsim.MustSystem(scaledXeon())
+	ctl := adapt.NewController(shapeAdaptCfg())
+	adapt.Run(sys.NewCore(), j.ProbeMachine(out, true), ctl)
+	if out.Count != wantCount || out.Checksum != wantSum {
+		t.Fatalf("adaptive output (count=%d sum=%x) differs from reference (count=%d sum=%x)",
+			out.Count, out.Checksum, wantCount, wantSum)
+	}
+}

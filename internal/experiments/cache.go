@@ -221,6 +221,7 @@ type workloadSet struct {
 	bsts   *fifoCache[indexKey, indexWorkload[*ops.BSTWorkload]]
 	skips  *fifoCache[indexKey, indexWorkload[*ops.SkipListWorkload]]
 	serves *fifoCache[servingKey, *servingJoin]
+	adapts *fifoCache[adaptKey, adaptExec]
 }
 
 func newWorkloadSet() *workloadSet {
@@ -229,6 +230,7 @@ func newWorkloadSet() *workloadSet {
 		bsts:   newFIFOCache[indexKey, indexWorkload[*ops.BSTWorkload]](4),
 		skips:  newFIFOCache[indexKey, indexWorkload[*ops.SkipListWorkload]](4),
 		serves: newFIFOCache[servingKey, *servingJoin](2),
+		adapts: newFIFOCache[adaptKey, adaptExec](4),
 	}
 }
 

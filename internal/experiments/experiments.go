@@ -127,6 +127,15 @@ type sizes struct {
 	xeonThreads []int
 	t4Threads   []int
 	windows     []int // in-flight sweep for Figure 6
+
+	// adaptN knobs: the cache-resident dimension-table build size, the
+	// cache-resident BST of the operator-mix workload (log2), and the
+	// adaptive controller's segment/probe lengths (scaled so that probe
+	// epochs stay a small fraction of the run at every scale).
+	adaptDim     int
+	adaptBST     int
+	adaptSegment int
+	adaptProbe   int
 }
 
 func (c Config) sizes() sizes {
@@ -140,6 +149,7 @@ func (c Config) sizes() sizes {
 			xeonThreads: []int{1, 2, 4, 6, 8, 12},
 			t4Threads:   []int{1, 8, 16, 64},
 			windows:     []int{1, 5, 10, 15},
+			adaptDim:    1 << 8, adaptBST: 8, adaptSegment: 256, adaptProbe: 64,
 		}
 	case Paper:
 		return sizes{
@@ -150,6 +160,7 @@ func (c Config) sizes() sizes {
 			xeonThreads: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
 			t4Threads:   []int{1, 2, 4, 8, 16, 24, 32, 40, 48, 56, 64},
 			windows:     []int{1, 5, 10, 15},
+			adaptDim:    1 << 12, adaptBST: 12, adaptSegment: 4096, adaptProbe: 512,
 		}
 	default: // Small
 		return sizes{
@@ -160,6 +171,7 @@ func (c Config) sizes() sizes {
 			xeonThreads: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
 			t4Threads:   []int{1, 2, 4, 8, 16, 24, 32, 48, 64},
 			windows:     []int{1, 5, 10, 15},
+			adaptDim:    1 << 12, adaptBST: 12, adaptSegment: 2048, adaptProbe: 256,
 		}
 	}
 }

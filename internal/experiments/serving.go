@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"amac/internal/adapt"
 	"amac/internal/memsim"
 	"amac/internal/ops"
 	"amac/internal/profile"
@@ -97,22 +98,8 @@ func serveN(cfg Config) []*profile.Table {
 	spec := relation.JoinSpec{BuildSize: n, ProbeSize: n, ZipfBuild: 1.0, Seed: cfg.seed()}
 	runs := 1 + len(serveLoads)*len(ops.Techniques)
 	sj := defaultWorkloads.servingJoin(spec, workers, runs)
-
-	// Calibrate: batch-mode AMAC over the same partitions, same cores. The
-	// aggregate service capacity is total tuples over the slowest worker's
-	// time, exactly as the scaleN experiment reports it.
-	for _, out := range sj.outs[0] {
-		out.Reset()
-	}
-	batch := runParallelProbeOuts(sj.pj, parallelJoinConfig{
-		machine: machine, workers: workers, tech: ops.AMAC, window: cfg.window(), earlyExit: true,
-	}, sj.outs[0])
-	capacity := float64(batch.tuples) / float64(batch.merged.Cycles) // requests per cycle, aggregate
-
-	policy := serve.Block
-	if cfg.QueueCap > 0 {
-		policy = serve.Drop
-	}
+	capacity := calibrateServeCapacity(sj, machine, workers, cfg.window())
+	policy := queuePolicy(cfg)
 
 	rows := make([]string, len(serveLoads))
 	for i, l := range serveLoads {
@@ -144,7 +131,7 @@ func serveN(cfg Config) []*profile.Table {
 			cells = append(cells, cell{load, tech})
 			tasks = append(tasks, func(e *sweepEnv) serve.Result {
 				sj := e.wl.servingJoin(spec, workers, runs)
-				return runServe(cfg, sj, runIdx, machine, workers, tech, load, capacity, policy)
+				return runServe(cfg, sj, runIdx, machine, workers, tech, load, capacity, policy, nil)
 			})
 		}
 	}
@@ -171,9 +158,11 @@ func serveN(cfg Config) []*profile.Table {
 // schedule, rates split across workers in proportion to their partition
 // sizes so each worker's stream spans the same simulated duration. The cell
 // uses the serving workload's pre-allocated run-indexed collectors and the
-// shared arrival-schedule cache, so repeated cells rebuild nothing.
+// shared arrival-schedule cache, so repeated cells rebuild nothing. A
+// non-nil adaptive config replaces the fixed technique with per-shard
+// adaptive controllers (the adaptN serving table).
 func runServe(cfg Config, sj *servingJoin, run int, machine memsim.Config, workers int,
-	tech ops.Technique, load, capacity float64, policy serve.Policy) serve.Result {
+	tech ops.Technique, load, capacity float64, policy serve.Policy, adaptive *adapt.Config) serve.Result {
 	pj := sj.pj
 	totalTuples := pj.ProbeTuples()
 	outs := sj.outs[run]
@@ -200,7 +189,33 @@ func runServe(cfg Config, sj *servingJoin, run int, machine memsim.Config, worke
 		QueueCap:  cfg.QueueCap,
 		Policy:    policy,
 		Prepare:   func(w int, c *memsim.Core) { warmTable(c, pj.Parts[w]) },
+		Adaptive:  adaptive,
 	}, specs)
+}
+
+// calibrateServeCapacity measures AMAC's aggregate batch service capacity
+// (requests per cycle) on the serving workload: batch-mode AMAC over the
+// same partitions and cores, total tuples over the slowest worker's time,
+// exactly as the scaleN experiment reports it. It defines the load axis of
+// every serving table (serveN, adaptN-serve), so there is exactly one copy.
+// Uses (and resets) the workload's calibration collector set, outs[0].
+func calibrateServeCapacity(sj *servingJoin, machine memsim.Config, workers, window int) float64 {
+	for _, out := range sj.outs[0] {
+		out.Reset()
+	}
+	batch := runParallelProbeOuts(sj.pj, parallelJoinConfig{
+		machine: machine, workers: workers, tech: ops.AMAC, window: window, earlyExit: true,
+	}, sj.outs[0])
+	return float64(batch.tuples) / float64(batch.merged.Cycles)
+}
+
+// queuePolicy resolves the admission-queue policy from the configuration: a
+// bounded queue (-qcap) drops on overflow, an unbounded one blocks.
+func queuePolicy(cfg Config) serve.Policy {
+	if cfg.QueueCap > 0 {
+		return serve.Drop
+	}
+	return serve.Block
 }
 
 // arrivalsName resolves the configured arrival process label.

@@ -32,14 +32,24 @@ func NewHashJoin(build, probe *relation.Relation) *HashJoin {
 // NewHashJoinWithBuckets materializes the workload with an explicit bucket
 // count (the Figure 3 experiments size buckets for exactly four tuples).
 func NewHashJoinWithBuckets(build, probe *relation.Relation, buckets int) *HashJoin {
-	a := arena.New()
-	j := &HashJoin{
+	return NewHashJoinInArena(arena.New(), build, probe, buckets)
+}
+
+// NewHashJoinInArena materializes the workload inside an existing arena
+// (buckets <= 0 selects the default |R|/TuplesPerBucket sizing). Arenas all
+// start at the same simulated base address, so phase-composite workloads
+// (exec.Concat) must place every phase's structures in one arena — separate
+// arenas would alias in the cache model.
+func NewHashJoinInArena(a *arena.Arena, build, probe *relation.Relation, buckets int) *HashJoin {
+	if buckets <= 0 {
+		buckets = build.Len() / TuplesPerBucket
+	}
+	return &HashJoin{
 		Arena: a,
 		Table: ht.New(a, buckets),
 		Build: NewInput(a, build),
 		Probe: NewInput(a, probe),
 	}
-	return j
 }
 
 // PrebuildRaw populates the hash table without charging simulator time, for
@@ -157,7 +167,12 @@ type BSTWorkload struct {
 // NewBSTWorkload builds the index (uncharged, as in the paper the index
 // exists before the measured search phase) and materializes the probes.
 func NewBSTWorkload(build, probe *relation.Relation) *BSTWorkload {
-	a := arena.New()
+	return NewBSTWorkloadInArena(arena.New(), build, probe)
+}
+
+// NewBSTWorkloadInArena builds the workload inside an existing arena (see
+// NewHashJoinInArena for why composite workloads need one arena).
+func NewBSTWorkloadInArena(a *arena.Arena, build, probe *relation.Relation) *BSTWorkload {
 	w := &BSTWorkload{Arena: a, Tree: bst.New(a), Probe: NewInput(a, probe)}
 	for _, tup := range build.Tuples {
 		w.Tree.Insert(tup.Key, tup.Payload)
@@ -181,7 +196,12 @@ type SkipListWorkload struct {
 
 // NewSkipListWorkload materializes both relations; the list starts empty.
 func NewSkipListWorkload(build, probe *relation.Relation) *SkipListWorkload {
-	a := arena.New()
+	return NewSkipListWorkloadInArena(arena.New(), build, probe)
+}
+
+// NewSkipListWorkloadInArena materializes the workload inside an existing
+// arena (see NewHashJoinInArena for why composite workloads need one arena).
+func NewSkipListWorkloadInArena(a *arena.Arena, build, probe *relation.Relation) *SkipListWorkload {
 	return &SkipListWorkload{
 		Arena: a,
 		List:  skiplist.New(a, skiplist.DefaultMaxLevel),

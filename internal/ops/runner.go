@@ -63,6 +63,16 @@ type Params struct {
 	// Window is the number of in-flight lookups; zero selects the default
 	// of 10, the best-performing setting on the paper's Xeon.
 	Window int
+	// Controller, if non-nil, lets an adaptive width controller resize the
+	// AMAC slot window mid-run (see core.Options.Controller); only AMAC can
+	// act on it — GP and SPP bake their group size and pipeline depth into
+	// their control flow, so they ignore it, which is the paper's
+	// flexibility argument in one field.
+	Controller exec.WidthController
+	// MaxWidth and ProbeInterval forward to core.Options when a Controller
+	// is attached (zero keeps the core defaults).
+	MaxWidth      int
+	ProbeInterval int
 }
 
 // DefaultWindow is used when Params.Window is zero.
@@ -87,7 +97,10 @@ func RunMachine[S any](c *memsim.Core, m exec.Machine[S], tech Technique, p Para
 	case SPP:
 		exec.SoftwarePipeline(c, m, p.window())
 	case AMAC:
-		core.Run(c, m, core.Options{Width: p.window()})
+		core.Run(c, m, core.Options{
+			Width: p.window(), Controller: p.Controller,
+			MaxWidth: p.MaxWidth, ProbeInterval: p.ProbeInterval,
+		})
 	default:
 		panic(fmt.Sprintf("ops: unknown technique %d", int(tech)))
 	}

@@ -1,0 +1,51 @@
+package relation
+
+import (
+	"fmt"
+
+	"amac/internal/xrand"
+)
+
+// ZipfKeys returns n keys drawn from a Zipf(theta) popularity distribution
+// over the key domain [1, domain]. Popularity ranks are mapped through a
+// seed-deterministic permutation of the domain, exactly as BuildJoin does,
+// so hot keys are scattered across the key space rather than numerically
+// adjacent (adjacency would give them artificial cache locality). theta 0
+// degenerates to uniform. The result is deterministic given (n, domain,
+// theta, seed).
+//
+// It is the small reusable piece behind every skewed workload in this
+// repository: the adaptN experiment draws its hot-then-cold probe phases
+// from it, and examples/hashjoin_skew uses it to build probe-side skew
+// against a uniform build relation.
+func ZipfKeys(n int, domain uint64, theta float64, seed uint64) []uint64 {
+	if n < 0 {
+		panic(fmt.Sprintf("relation: ZipfKeys needs a non-negative count, got %d", n))
+	}
+	if domain == 0 {
+		panic("relation: ZipfKeys needs a non-empty domain")
+	}
+	rng := xrand.New(seed)
+	rank := make([]uint64, domain)
+	for i := range rank {
+		rank[i] = uint64(i) + 1
+	}
+	rng.Shuffle(len(rank), func(i, j int) { rank[i], rank[j] = rank[j], rank[i] })
+
+	z := xrand.NewZipf(rng, theta, domain)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rank[z.Next()]
+	}
+	return keys
+}
+
+// KeyedRelation builds a relation from explicit keys, with payloads
+// payloadBase+i so every tuple stays distinguishable in checksums.
+func KeyedRelation(name string, keys []uint64, payloadBase uint64) *Relation {
+	rel := &Relation{Name: name, Tuples: make([]Tuple, len(keys))}
+	for i, k := range keys {
+		rel.Tuples[i] = Tuple{Key: k, Payload: payloadBase + uint64(i)}
+	}
+	return rel
+}

@@ -1,0 +1,102 @@
+package relation
+
+import (
+	"testing"
+)
+
+// TestZipfKeysDeterministic: the same (n, domain, theta, seed) must yield
+// byte-identical keys, and a different seed a different sequence.
+func TestZipfKeysDeterministic(t *testing.T) {
+	a := ZipfKeys(5000, 1<<12, 1.0, 42)
+	b := ZipfKeys(5000, 1<<12, 1.0, 42)
+	if len(a) != 5000 || len(b) != 5000 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d != %d", i, a[i], b[i])
+		}
+	}
+	c := ZipfKeys(5000, 1<<12, 1.0, 43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+// TestZipfKeysDomainAndSkew: every key lies in [1, domain]; higher theta
+// concentrates more mass on fewer keys; theta 0 is near-uniform.
+func TestZipfKeysDomainAndSkew(t *testing.T) {
+	const n, domain = 40000, 1 << 10
+	distinct := func(theta float64) int {
+		seen := make(map[uint64]bool)
+		for _, k := range ZipfKeys(n, domain, theta, 7) {
+			if k < 1 || k > domain {
+				t.Fatalf("key %d outside [1, %d]", k, domain)
+			}
+			seen[k] = true
+		}
+		return len(seen)
+	}
+	d0, d1, d15 := distinct(0), distinct(1.0), distinct(1.5)
+	if !(d0 > d1 && d1 > d15) {
+		t.Fatalf("distinct keys should fall with skew: theta0=%d theta1=%d theta1.5=%d", d0, d1, d15)
+	}
+	if d0 < domain*9/10 {
+		t.Fatalf("uniform draw covered only %d of %d keys", d0, domain)
+	}
+}
+
+// TestZipfKeysHotMass: under heavy skew the most popular handful of keys
+// dominates — the property the adaptive experiments' hot-probe phase relies
+// on to keep its working set cache-resident.
+func TestZipfKeysHotMass(t *testing.T) {
+	const n, domain = 100000, 1 << 16
+	counts := make(map[uint64]int)
+	for _, k := range ZipfKeys(n, domain, 1.5, 11) {
+		counts[k]++
+	}
+	type kc struct {
+		k uint64
+		c int
+	}
+	top := 0
+	// Count the mass of the 256 most frequent keys.
+	all := make([]kc, 0, len(counts))
+	for k, c := range counts {
+		all = append(all, kc{k, c})
+	}
+	for i := 0; i < 256 && len(all) > 0; i++ {
+		best := 0
+		for j := range all {
+			if all[j].c > all[best].c {
+				best = j
+			}
+		}
+		top += all[best].c
+		all[best] = all[len(all)-1]
+		all = all[:len(all)-1]
+	}
+	if frac := float64(top) / n; frac < 0.75 {
+		t.Fatalf("top-256 keys hold only %.0f%% of Zipf(1.5) draws, want >= 75%%", 100*frac)
+	}
+}
+
+// TestKeyedRelation: explicit keys come through in order with distinct
+// payloads.
+func TestKeyedRelation(t *testing.T) {
+	rel := KeyedRelation("X", []uint64{5, 9, 5}, 1000)
+	if rel.Len() != 3 || rel.Name != "X" {
+		t.Fatalf("relation %+v", rel)
+	}
+	for i, want := range []uint64{5, 9, 5} {
+		if rel.Tuples[i].Key != want || rel.Tuples[i].Payload != 1000+uint64(i) {
+			t.Fatalf("tuple %d = %+v", i, rel.Tuples[i])
+		}
+	}
+}

@@ -134,3 +134,87 @@ func TestRecorderMerge(t *testing.T) {
 		t.Fatalf("q90 = %d, want ~1000", q)
 	}
 }
+
+// TestRecorderSingleSample: every quantile of a one-sample run is that
+// sample (exactly below 16 cycles, within the bucket bound above), and the
+// rank-1 clamp keeps q=0 from reading an empty prefix.
+func TestRecorderSingleSample(t *testing.T) {
+	for _, lat := range []uint64{0, 1, 7, 1000, 1 << 40} {
+		var r Recorder
+		r.RecordLatency(lat)
+		for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+			got := r.Quantile(q)
+			if got != lat {
+				// Above the exact range the bucket upper bound applies, but
+				// the max clamp must still pin it to the recorded value.
+				t.Fatalf("1-sample Quantile(%.2f) = %d, want %d", q, got, lat)
+			}
+		}
+		if r.MeanLatency() != float64(lat) || r.MaxLatency != lat {
+			t.Fatalf("1-sample mean/max = %f/%d, want %d", r.MeanLatency(), r.MaxLatency, lat)
+		}
+	}
+}
+
+// TestRecorderAllDropped: a run in which every offered request was rejected
+// has no latency population — quantiles and means are zero, drop fraction
+// is one, and merging it into a live recorder adds only drop counters.
+func TestRecorderAllDropped(t *testing.T) {
+	var r Recorder
+	for i := 0; i < 25; i++ {
+		r.Offered++
+		r.recordDrop()
+	}
+	if r.Dropped != 25 || r.Completed != 0 {
+		t.Fatalf("counters %+v", r)
+	}
+	if r.DropFraction() != 1 {
+		t.Fatalf("drop fraction = %f, want 1", r.DropFraction())
+	}
+	if r.P50() != 0 || r.P99() != 0 || r.Quantile(1) != 0 || r.MeanLatency() != 0 || r.MeanQueueWait() != 0 {
+		t.Fatal("all-dropped run must report zero latencies")
+	}
+
+	var live Recorder
+	live.Offered = 10
+	for i := 0; i < 10; i++ {
+		live.RecordLatency(100)
+	}
+	live.Merge(&r)
+	if live.Completed != 10 || live.Dropped != 25 || live.Offered != 35 {
+		t.Fatalf("merge with all-dropped: %+v", live)
+	}
+	if live.P99() != 100 {
+		t.Fatalf("latency population polluted by drops: p99 = %d", live.P99())
+	}
+}
+
+// TestRecorderMergeEmpty: merging empty recorders — empty into empty, empty
+// into live, live into empty — never changes the live population.
+func TestRecorderMergeEmpty(t *testing.T) {
+	var a, b Recorder
+	a.Merge(&b)
+	if a.Completed != 0 || a.P99() != 0 || a.DepthMax != 0 {
+		t.Fatalf("empty∪empty = %+v", a)
+	}
+
+	var live Recorder
+	live.Offered = 3
+	live.RecordLatency(10)
+	live.RecordLatency(20)
+	live.RecordLatency(30)
+	live.sampleDepth(2)
+	before := live
+
+	var empty Recorder
+	live.Merge(&empty)
+	if live != before {
+		t.Fatalf("merging an empty recorder changed the live one:\n%+v\n%+v", live, before)
+	}
+
+	var target Recorder
+	target.Merge(&live)
+	if target != live {
+		t.Fatalf("merging into an empty recorder must copy the population:\n%+v\n%+v", target, live)
+	}
+}

@@ -3,6 +3,7 @@ package serve_test
 import (
 	"testing"
 
+	"amac/internal/adapt"
 	"amac/internal/core"
 	"amac/internal/exec/exectest"
 	"amac/internal/memsim"
@@ -297,5 +298,83 @@ func TestServiceEmptyWorkers(t *testing.T) {
 	res := serve.Run[ops.ProbeState](serve.Options{Hardware: memsim.XeonX5670(), Technique: ops.AMAC}, nil)
 	if res.Latency.Completed != 0 || len(res.PerWorker) != 0 {
 		t.Fatalf("empty service should be empty: %+v", res)
+	}
+}
+
+// TestServiceAdaptiveServesEverything: the per-shard adaptive controller
+// must serve every request exactly once with output identical to a static
+// run, report its tallies per worker and merged, and stay deterministic
+// across goroutine schedules.
+func TestServiceAdaptiveServesEverything(t *testing.T) {
+	const workers = 2
+	build, probe, err := relation.BuildJoin(relation.JoinSpec{BuildSize: 1 << 12, ProbeSize: 1 << 12, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj := ops.PartitionJoin(build, probe, workers)
+	pj.PrebuildRaw()
+	wantCount, wantSum := pj.ReferenceJoinFirstMatch()
+
+	// Collectors are allocated once and reset per run so that every run
+	// charges its stores at identical arena addresses — the same
+	// pre-allocation discipline the experiment sweeps use.
+	outs := make([]*ops.Output, workers)
+	for w := 0; w < workers; w++ {
+		outs[w] = ops.NewOutput(pj.Parts[w].Arena, false)
+		outs[w].Sequential = true
+	}
+
+	run := func() (serve.Result, uint64, uint64) {
+		specs := make([]serve.Worker[ops.ProbeState], workers)
+		for w := 0; w < workers; w++ {
+			outs[w].Reset()
+			specs[w] = serve.Worker[ops.ProbeState]{
+				Machine:  pj.ProbeMachine(w, outs[w], true),
+				Arrivals: serve.Poisson{MeanPeriod: 120}.Schedule(pj.Parts[w].Probe.Len(), uint64(w)+1),
+			}
+		}
+		res := serve.Run(serve.Options{
+			Hardware: memsim.XeonX5670(),
+			Adaptive: &adapt.Config{RetuneRequests: 128, ProbeRequests: 32},
+		}, specs)
+		var count, checksum uint64
+		for _, out := range outs {
+			count += out.Count
+			checksum += out.Checksum
+		}
+		return res, count, checksum
+	}
+
+	res, count, checksum := run()
+	if count != wantCount || checksum != wantSum {
+		t.Fatalf("adaptive service output (count=%d sum=%x) differs from reference (count=%d sum=%x)",
+			count, checksum, wantCount, wantSum)
+	}
+	if res.Latency.Completed != uint64(probe.Len()) {
+		t.Fatalf("completed %d of %d", res.Latency.Completed, probe.Len())
+	}
+	if res.Adapt == nil {
+		t.Fatal("merged adaptive tallies missing")
+	}
+	if res.Adapt.Probes < workers {
+		t.Fatalf("every shard should calibrate at least once: %v", res.Adapt)
+	}
+	total := 0
+	for _, n := range res.Adapt.Lookups {
+		total += n
+	}
+	if total != probe.Len() {
+		t.Fatalf("technique tallies cover %d of %d requests", total, probe.Len())
+	}
+	for w, wr := range res.PerWorker {
+		if wr.Adapt == nil {
+			t.Fatalf("worker %d missing adaptive tallies", w)
+		}
+	}
+
+	res2, count2, checksum2 := run()
+	if count2 != count || checksum2 != checksum || res2.ElapsedCycles() != res.ElapsedCycles() ||
+		res2.Latency.P99() != res.Latency.P99() {
+		t.Fatal("adaptive service runs must be deterministic")
 	}
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 
+	"amac/internal/adapt"
 	"amac/internal/core"
 	"amac/internal/exec"
 	"amac/internal/memsim"
@@ -58,6 +59,12 @@ type Options struct {
 	// Prepare, if non-nil, runs on every worker's core before measurement
 	// (cache warming); the core's stats are reset afterwards.
 	Prepare func(worker int, c *memsim.Core)
+	// Adaptive, if non-nil, replaces the fixed Technique with a per-shard
+	// adaptive controller (package adapt): every worker probes the
+	// candidate techniques on its own traffic, exploits the cheapest, and
+	// retunes when its observed per-request cost drifts or its queue depth
+	// jumps — so a load shift on one shard retunes that shard alone.
+	Adaptive *adapt.Config
 }
 
 // WorkerResult is one worker's outcome.
@@ -66,6 +73,9 @@ type WorkerResult struct {
 	Latency *Recorder
 	// Sched holds AMAC's scheduler counters (zero for other techniques).
 	Sched core.RunStats
+	// Adapt holds the shard controller's tallies for adaptive runs (nil
+	// otherwise).
+	Adapt *adapt.Info
 }
 
 // Result is the merged outcome of a service run.
@@ -78,6 +88,9 @@ type Result struct {
 	Latency Recorder
 	// Sched merges the AMAC scheduler stats.
 	Sched core.RunStats
+	// Adapt merges the shard controllers' tallies for adaptive runs (nil
+	// otherwise).
+	Adapt *adapt.Info
 }
 
 // ElapsedCycles is the simulated wall-clock of the service phase.
@@ -121,17 +134,37 @@ func Run[S any](opts Options, workers []Worker[S]) Result {
 	}
 
 	sched := make([]core.RunStats, n)
+	var ctls []*adapt.Controller
+	if opts.Adaptive != nil {
+		ctls = make([]*adapt.Controller, n)
+		for w := range ctls {
+			ctls[w] = adapt.NewController(*opts.Adaptive)
+		}
+	}
 	ps := exec.RunParallel(cores, func(w int, c *memsim.Core) {
+		if ctls != nil {
+			sched[w] = adapt.RunStream(c, sources[w], ctls[w], sources[w].Depth)
+			return
+		}
 		sched[w] = RunSource(c, sources[w], opts.Technique, ops.Params{Window: opts.Window})
 	})
 
 	res := Result{Stats: ps.Merged, Sched: core.MergeRunStats(sched)}
+	if ctls != nil {
+		res.Adapt = &adapt.Info{}
+	}
 	for w := 0; w < n; w++ {
-		res.PerWorker = append(res.PerWorker, WorkerResult{
+		wr := WorkerResult{
 			Stats:   ps.PerWorker[w],
 			Latency: sources[w].Recorder(),
 			Sched:   sched[w],
-		})
+		}
+		if ctls != nil {
+			info := ctls[w].Info()
+			wr.Adapt = &info
+			res.Adapt.Merge(info)
+		}
+		res.PerWorker = append(res.PerWorker, wr)
 		res.Latency.Merge(sources[w].Recorder())
 		sources[w].Close()
 		pooled[w].Release()

@@ -134,6 +134,10 @@ func (q *QueueSource[S]) Recorder() *Recorder { return q.rec }
 // depth returns the number of admitted, not-yet-pulled requests.
 func (q *QueueSource[S]) depth() int { return q.tail - q.head }
 
+// Depth exposes the admission-queue backlog: the adaptive serving
+// controller reads it between leases as its queue-pressure retune signal.
+func (q *QueueSource[S]) Depth() int { return q.depth() }
+
 // grow doubles the ring (unbounded queues only), relinking the live entries
 // in FIFO order.
 func (q *QueueSource[S]) grow() {

@@ -34,6 +34,24 @@ func BuildIndexWorkload(n int, seed uint64) (build, probe *Relation, err error) 
 	return relation.BuildIndexWorkload(n, seed)
 }
 
+// ZipfKeys returns n keys drawn from a Zipf(theta) popularity distribution
+// over [1, domain], hot ranks scattered through the key space by a
+// seed-deterministic permutation (numeric adjacency would give hot keys
+// artificial cache locality). theta 0 is uniform. It is the reusable
+// generator behind every skewed workload here: the adaptN experiment's
+// hot-then-cold probe phases draw from it, and examples/hashjoin_skew uses
+// it for probe-side skew.
+func ZipfKeys(n int, domain uint64, theta float64, seed uint64) []uint64 {
+	return relation.ZipfKeys(n, domain, theta, seed)
+}
+
+// KeyedRelation builds a relation from explicit keys (for example a
+// ZipfKeys draw), with payloads payloadBase+i so every tuple stays
+// distinguishable in checksums.
+func KeyedRelation(name string, keys []uint64, payloadBase uint64) *Relation {
+	return relation.KeyedRelation(name, keys, payloadBase)
+}
+
 // HashJoin is a hash-join workload materialized in a simulated arena: the
 // chained hash table plus the build and probe relations. Its machines run
 // under any Technique.
