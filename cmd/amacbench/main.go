@@ -14,6 +14,8 @@
 //	amacbench -exp serveN               # streaming service: arrival-rate sweep
 //	amacbench -exp serveN -arrivals bursty -qcap 64  # bursty traffic, bounded drop queue
 //	amacbench -exp adaptN               # adaptive execution vs every static config
+//	amacbench -exp pipeN                # streaming multi-operator pipelines + mini-planner
+//	amacbench -exp pipeN -plans mixed -burst 32  # one plan, smaller pump leases
 //	amacbench -exp serveN -json         # machine-readable results, one JSON object per row
 //	amacbench -bench                    # benchmark suite -> BENCH_pr4.json
 //	amacbench -bench -benchgate BENCH_pr4.json  # CI gate: fail on >3x ns/op regressions
@@ -33,6 +35,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"amac/internal/experiments"
@@ -51,6 +54,9 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "host workers for independent sweep points (0 = all cores, 1 = serial); results are identical for every value")
 		arrivals  = flag.String("arrivals", "", "serving arrival process: deterministic, poisson (default) or bursty")
 		qcap      = flag.Int("qcap", 0, "bound the serving admission queue and drop on overflow (0 = unbounded blocking queue)")
+		plans     = flag.String("plans", "", "pipeline plan filter: comma-separated case-insensitive substrings of pipeN plan names (empty = every plan)")
+		burst     = flag.Int("burst", 0, "pipeline pump lease size: admissions per upstream lease (0 = pipeline default)")
+		pipeCap   = flag.Int("pipecap", 0, "pipeline inter-stage pipe capacity in rows, the backpressure bound (0 = pipeline default)")
 		jsonOut   = flag.Bool("json", false, "emit results as JSON Lines (one object per table row) instead of text tables")
 		bench     = flag.Bool("bench", false, "run the benchmark suite and write per-benchmark ns/op, allocs/op and simulated cycles")
 		benchOut  = flag.String("benchout", "BENCH_pr4.json", "output path for -bench")
@@ -122,6 +128,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
 		os.Exit(2)
 	}
+	if *burst < 0 {
+		fmt.Fprintf(os.Stderr, "amacbench: -burst must be non-negative, got %d\n", *burst)
+		os.Exit(2)
+	}
+	if *pipeCap < 0 {
+		fmt.Fprintf(os.Stderr, "amacbench: -pipecap must be non-negative, got %d\n", *pipeCap)
+		os.Exit(2)
+	}
+	if err := experiments.ValidatePipePlans(*plans); err != nil {
+		fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
+		os.Exit(2)
+	}
+	if err := validatePipelineFlags(*exp, *bench, *plans, *burst, *pipeCap); err != nil {
+		fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
+		os.Exit(2)
+	}
 	sc, err := experiments.ParseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -130,6 +152,7 @@ func main() {
 	cfg := experiments.Config{
 		Scale: sc, Seed: *seed, Window: *window, Workers: *workers,
 		Arrivals: *arrivals, QueueCap: *qcap, Parallel: *parallel,
+		Plans: *plans, Burst: *burst, PipeCap: *pipeCap,
 	}
 
 	if *bench {
@@ -205,6 +228,41 @@ func validateServingFlags(exp string, bench bool, arrivals string, qcap int) err
 		return nil
 	}
 	return fmt.Errorf("%s only affects the serving experiments (serveN, adaptN), not %q; drop the flag or pick a serving experiment", set, exp)
+}
+
+// pipelineExperiments are the experiment ids whose runs consume the pipeline
+// flags: -plans filters their plan set, -burst and -pipecap override the pump
+// geometry. Every other experiment ignores all three.
+var pipelineExperiments = map[string]bool{
+	"pipeN": true,
+}
+
+// validatePipelineFlags rejects -plans/-burst/-pipecap combinations that
+// would silently no-op, mirroring validateServingFlags: the flags only affect
+// the pipeline experiments, so asking for them alongside anything else (or
+// -bench, whose pipeline scenarios are fixed) is a mistake, not a preference.
+func validatePipelineFlags(exp string, bench bool, plans string, burst, pipeCap int) error {
+	if plans == "" && burst == 0 && pipeCap == 0 {
+		return nil
+	}
+	var set []string
+	if plans != "" {
+		set = append(set, "-plans")
+	}
+	if burst != 0 {
+		set = append(set, "-burst")
+	}
+	if pipeCap != 0 {
+		set = append(set, "-pipecap")
+	}
+	s := strings.Join(set, "/")
+	if bench {
+		return fmt.Errorf("%s has no effect with -bench (the benchmark suite fixes its pipeline scenarios)", s)
+	}
+	if exp == "all" || pipelineExperiments[exp] {
+		return nil
+	}
+	return fmt.Errorf("%s only affects the pipeline experiment (pipeN), not %q; drop the flag or pick the pipeline experiment", s, exp)
 }
 
 // listExperiments prints every registered experiment id and title.

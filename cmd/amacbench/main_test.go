@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"amac/internal/experiments"
 )
 
 // TestValidateServingFlags: -arrivals/-qcap must be rejected whenever they
@@ -57,5 +59,97 @@ func TestServingExperimentsRegistered(t *testing.T) {
 		if err := validateServingFlags(id, false, "bursty", 8); err != nil {
 			t.Fatalf("serving experiment %q rejected: %v", id, err)
 		}
+	}
+}
+
+// TestValidatePipelineFlags: -plans/-burst/-pipecap must be rejected whenever
+// they would silently no-op — any non-pipeline experiment, and the benchmark
+// suite — and accepted for the pipeline experiment and -exp all.
+func TestValidatePipelineFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		exp     string
+		bench   bool
+		plans   string
+		burst   int
+		pipeCap int
+		wantErr string // substring; empty means valid
+	}{
+		{name: "no pipeline flags", exp: "fig6"},
+		{name: "pipeN with plans", exp: "pipeN", plans: "mixed"},
+		{name: "pipeN with burst", exp: "pipeN", burst: 32},
+		{name: "pipeN with pipecap", exp: "pipeN", pipeCap: 64},
+		{name: "pipeN with all three", exp: "pipeN", plans: "bst,chain", burst: 16, pipeCap: 32},
+		{name: "all includes pipeline", exp: "all", burst: 16},
+		{name: "fig6 with plans", exp: "fig6", plans: "mixed", wantErr: "-plans only affects"},
+		{name: "fig5b with burst", exp: "fig5b", burst: 8, wantErr: "-burst only affects"},
+		{name: "serveN with pipecap", exp: "serveN", pipeCap: 8, wantErr: "-pipecap only affects"},
+		{name: "table3 with plans and burst", exp: "table3", plans: "agg", burst: 8, wantErr: "-plans/-burst only affects"},
+		{name: "scaleN with all three", exp: "scaleN", plans: "bst", burst: 4, pipeCap: 8, wantErr: "-plans/-burst/-pipecap only affects"},
+		{name: "bench with plans", bench: true, plans: "mixed", wantErr: "no effect with -bench"},
+		{name: "bench with burst", bench: true, burst: 8, wantErr: "no effect with -bench"},
+		{name: "bench without pipeline flags", bench: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validatePipelineFlags(tc.exp, tc.bench, tc.plans, tc.burst, tc.pipeCap)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected an error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestPipelineExperimentsRegistered mirrors the serving allowlist check for
+// the pipeline flags.
+func TestPipelineExperimentsRegistered(t *testing.T) {
+	for id := range pipelineExperiments {
+		if err := validatePipelineFlags(id, false, "mixed", 8, 16); err != nil {
+			t.Fatalf("pipeline experiment %q rejected: %v", id, err)
+		}
+	}
+}
+
+// TestValidatePipePlans: every -plans token must select at least one pipeN
+// plan; matching is a case-insensitive substring over the plan names.
+func TestValidatePipePlans(t *testing.T) {
+	cases := []struct {
+		name    string
+		filter  string
+		wantErr string
+	}{
+		{name: "empty filter", filter: ""},
+		{name: "mixed", filter: "mixed"},
+		{name: "case-insensitive", filter: "BST"},
+		{name: "multiple tokens", filter: "agg, chain"},
+		{name: "full name", filter: "probe→BST filter (steady)"},
+		{name: "unknown token", filter: "mixed,nosuchplan", wantErr: "matches no pipeN plan"},
+		{name: "empty token", filter: "mixed,,agg", wantErr: "empty token"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := experiments.ValidatePipePlans(tc.filter)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected an error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
 	}
 }

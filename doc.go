@@ -31,6 +31,11 @@
 //     online and resizes the AMAC slot window mid-run from per-window
 //     execution samples — the paper's Section 6 flexibility argument as a
 //     feedback loop,
+//   - the streaming pipeline layer (PipelineBuilder, NewPipeline,
+//     ServePipelines), which chains the operators into multi-operator query
+//     plans whose rows stream stage-to-stage through bounded, backpressured
+//     pipes with a per-stage engine choice — static, planned by the
+//     cost-seeded mini-planner (PipelineBuilder.Plan), or fully adaptive,
 //   - the experiment harness that regenerates every table and figure of the
 //     paper's evaluation (Experiments, RunExperiment; also exposed through
 //     cmd/amacbench).

@@ -73,6 +73,13 @@ type Config struct {
 	RetuneRequests int
 	// ProbeRequests is the streaming probe lease length. Zero selects 128.
 	ProbeRequests int
+	// TuneGroupWindow enables adaptive GP/SPP group-size control: exploited
+	// GP/SPP segments relaunch with a controller-chosen group size (a
+	// GroupTuner hill-climb per technique) instead of the fixed Window.
+	// Calibration probes always use Window so the candidates stay
+	// comparable. Off by default: group retuning changes segment launch
+	// parameters, and static sweeps must stay bit-identical.
+	TuneGroupWindow bool
 }
 
 // withDefaults resolves the documented defaults.
@@ -184,6 +191,7 @@ func (i Info) String() string {
 type Controller struct {
 	cfg        Config
 	width      *WidthAIMD
+	groups     map[ops.Technique]*GroupTuner
 	calibrated bool
 	chosen     ops.Technique
 	refCPL     float64
@@ -261,12 +269,13 @@ func (ctl *Controller) observe(cpl float64) {
 }
 
 // recalibrate discards the calibration after a detected phase shift: the
-// next segment boundary runs a probe epoch, and the width controller
-// restarts from the configured base width (the old tuning belonged to the
-// old phase).
+// next segment boundary runs a probe epoch, and the width and group-size
+// controllers restart from the configured base width (the old tuning
+// belonged to the old phase).
 func (ctl *Controller) recalibrate() {
 	ctl.calibrated = false
 	ctl.width = NewWidthAIMD(ctl.cfg.Window, ctl.cfg.MinWidth, ctl.cfg.MaxWidth)
+	ctl.groups = nil
 }
 
 // driftStop wraps the width controller during an exploited AMAC run: every
@@ -395,23 +404,34 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], ctl *Controller) Info {
 			continue
 		}
 		seg := min(segNA, n-pos)
-		cpl := runSegment(c, m, ctl, ctl.chosen, pos, seg)
+		// Exploited GP/SPP segments relaunch at the tuner-chosen group size
+		// (the configured window unless TuneGroupWindow is set): the segment
+		// boundary is exactly where a statically-compiled group size CAN
+		// change, so the relaunch is free.
+		win := ctl.groupWindow(ctl.chosen)
+		cpl := runSegmentW(c, m, ctl, ctl.chosen, pos, seg, win)
 		pos += seg
+		ctl.observeGroup(ctl.chosen, cpl)
 		ctl.observe(cpl)
 	}
 	return ctl.Info()
 }
 
-// runSegment executes lookups [lo, lo+n) under one technique and returns the
-// segment's cycles per lookup.
+// runSegment executes lookups [lo, lo+n) under one technique at the
+// configured window and returns the segment's cycles per lookup.
 func runSegment[S any](c *memsim.Core, m exec.Machine[S], ctl *Controller, tech ops.Technique, lo, n int) float64 {
+	return runSegmentW(c, m, ctl, tech, lo, n, ctl.cfg.Window)
+}
+
+// runSegmentW is runSegment with an explicit GP/SPP group size.
+func runSegmentW[S any](c *memsim.Core, m exec.Machine[S], ctl *Controller, tech ops.Technique, lo, n, window int) float64 {
 	seg := exec.Shard[S]{M: m, Lo: lo, N: n}
 	start := c.Cycle()
 	var sched core.RunStats
 	if tech == ops.AMAC {
 		sched = core.Run(c, seg, ctl.amacOptions())
 	} else {
-		ops.RunMachine(c, seg, tech, ops.Params{Window: ctl.cfg.Window})
+		ops.RunMachine(c, seg, tech, ops.Params{Window: window})
 	}
 	ctl.account(tech, n, sched)
 	return float64(c.Cycle()-start) / float64(n)

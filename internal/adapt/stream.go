@@ -4,57 +4,22 @@ import (
 	"amac/internal/core"
 	"amac/internal/exec"
 	"amac/internal/memsim"
-	"amac/internal/ops"
 )
 
 // Streaming adaptation runs the same probe/exploit controller against an
 // open-loop request source. The engines loop until their source is
-// exhausted, so the controller interposes a lease: a source wrapper that
-// reports end-of-stream after a quota of admitted requests. The engine
-// drains its in-flight lookups and returns — no request is abandoned — and
-// the controller reads the lease's window (busy cycles per completion, idle
-// share, queue depth) before launching the next lease, possibly under a
-// different technique. Lease quotas are counted in requests, not cycles, so
-// retuning accelerates exactly when load rises — the moment adaptation
-// matters under bursty or shifting traffic.
-
-// leaseSource caps an underlying source at quota admitted requests.
-type leaseSource[S any] struct {
-	src       exec.Source[S]
-	quota     int
-	completed int
-	exhausted bool // the underlying source ended for real
-}
-
-// ProvisionedStages implements exec.Source.
-func (l *leaseSource[S]) ProvisionedStages() int { return l.src.ProvisionedStages() }
-
-// Pull implements exec.Source: forward until the lease quota is spent, then
-// report end-of-stream so the engine drains and hands control back.
-func (l *leaseSource[S]) Pull(c *memsim.Core, s *S, now uint64) exec.PullResult {
-	if l.quota <= 0 {
-		return exec.PullResult{Status: exec.Exhausted}
-	}
-	pr := l.src.Pull(c, s, now)
-	switch pr.Status {
-	case exec.Exhausted:
-		l.exhausted = true
-	case exec.Pulled:
-		l.quota--
-	}
-	return pr
-}
-
-// Stage implements exec.Source.
-func (l *leaseSource[S]) Stage(c *memsim.Core, s *S, stage int) exec.Outcome {
-	return l.src.Stage(c, s, stage)
-}
-
-// Complete implements exec.Source.
-func (l *leaseSource[S]) Complete(req exec.Request, done uint64) {
-	l.completed++
-	l.src.Complete(req, done)
-}
+// exhausted, so the controller interposes a lease (exec.LeaseSource): a
+// source wrapper that reports end-of-stream after a quota of admitted
+// requests. The engine drains its in-flight lookups and returns — no request
+// is abandoned — and the controller reads the lease's window (busy cycles
+// per completion, idle share, queue depth) before launching the next lease,
+// possibly under a different technique. Lease quotas are counted in
+// requests, not cycles, so retuning accelerates exactly when load rises —
+// the moment adaptation matters under bursty or shifting traffic.
+//
+// The decision loop itself lives in StreamTuner (tuner.go), so the pipeline
+// layer can drive the same cadence stage-by-stage; RunStream is the
+// single-source composition of tuner and engine dispatch.
 
 // RunStream serves the source adaptively on core c: leases of requests run
 // under the controller's current technique, the controller re-probes the
@@ -65,94 +30,12 @@ func (l *leaseSource[S]) Complete(req exec.Request, done uint64) {
 // disables the queue-pressure trigger. Returns the aggregated AMAC
 // scheduler stats, like core.RunStream.
 func RunStream[S any](c *memsim.Core, src exec.Source[S], ctl *Controller, queueDepth func() int) core.RunStats {
-	cfg := ctl.cfg
+	t := NewStreamTuner(ctl, queueDepth)
 	var agg core.RunStats
-	lastDepth := 0
-	probing := -1 // -1: warm-up lease; 0..len-1: candidate being measured
-	var best ops.Technique
-	var bestCPL float64
-
 	for {
-		tech := ctl.chosen
-		quota := cfg.RetuneRequests
-		if !ctl.calibrated {
-			quota = cfg.ProbeRequests
-			if probing >= 0 {
-				tech = cfg.Techniques[probing]
-			}
-			// probing == -1 keeps the incumbent: an unmeasured warm-up
-			// lease so the first probed candidate is not penalised with
-			// cold caches (see Run).
-		}
-
-		lease := &leaseSource[S]{src: src, quota: quota}
-		before := c.Stats()
-		var sched core.RunStats
-		switch tech {
-		case ops.Baseline:
-			exec.BaselineStream(c, lease)
-		case ops.GP:
-			exec.GroupPrefetchStream(c, lease, cfg.Window)
-		case ops.SPP:
-			exec.SoftwarePipelineStream(c, lease, cfg.Window)
-		case ops.AMAC:
-			sched = core.RunStream(c, lease, ctl.amacOptions())
-			agg.Add(sched)
-		}
-		after := c.Stats()
-		ctl.account(tech, lease.completed, sched)
-
-		// Busy cycles per completion: idle time is traffic, not service
-		// cost, so it is excluded — the controller compares how much work a
-		// request costs under each technique, which is what determines both
-		// capacity and the queue's drain rate.
-		busy := (after.Cycles - before.Cycles) - (after.IdleCycles - before.IdleCycles)
-		cpl := 0.0
-		if lease.completed > 0 {
-			cpl = float64(busy) / float64(lease.completed)
-		}
-
-		if !ctl.calibrated {
-			if probing >= 0 && cpl > 0 && (bestCPL == 0 || cpl < bestCPL) {
-				best, bestCPL = tech, cpl
-			}
-			probing++
-			if probing == len(cfg.Techniques) || lease.exhausted {
-				if bestCPL > 0 {
-					ctl.calibrate(best, bestCPL, ctl.info.Probes == 0)
-					if queueDepth != nil {
-						// Seed the queue-pressure baseline with the backlog
-						// the probe epoch itself left behind, so the first
-						// exploit lease compares against it instead of a
-						// vacuous zero — the chosen engine deserves one
-						// lease to start draining what probing queued up.
-						lastDepth = queueDepth()
-					}
-				}
-				probing, bestCPL = -1, 0
-			}
-		} else {
-			ctl.observe(cpl)
-			if queueDepth != nil {
-				// A queue that doubled across a lease AND holds several
-				// windows' worth of backlog means the service fell behind
-				// the offered load: re-probe even if the per-request cost
-				// looks stable. The absolute floor matters — bursty
-				// arrivals spike the depth by a burst length every burst,
-				// and re-probing on every burst echo would serve probe
-				// leases under load and inflate the very tail the
-				// controller exists to protect.
-				d := queueDepth()
-				if d > 2*lastDepth && d > 4*cfg.Window {
-					// Same contract as a drift retune: the width tuning
-					// belonged to the old regime, so reset it too.
-					ctl.recalibrate()
-				}
-				lastDepth = d
-			}
-		}
-
-		if lease.exhausted {
+		lease, sched := RunLease(c, src, t, t.Next(), nil, false)
+		agg.Add(sched)
+		if lease.Exhausted {
 			return agg
 		}
 	}

@@ -77,6 +77,26 @@ type Options struct {
 	// ProbeInterval is the number of completions between controller
 	// samples. Zero selects Width*DefaultProbeFactor.
 	ProbeInterval int
+	// SeedWidthFromMSHRs makes a zero Width start at the core's measured
+	// MSHR budget (memsim.Core.MSHRBudget) instead of DefaultWidth: the
+	// paper finds throughput saturates once the slot window covers the
+	// hardware MLP limit, so seeding there starts the engine near-optimal on
+	// any modeled machine — including SMT configurations, where the per-
+	// thread budget is a fraction of the L1 MSHR count. An explicit Width
+	// always wins.
+	SeedWidthFromMSHRs bool
+}
+
+// resolveWidth applies the width default: an explicit width wins, then the
+// measured MSHR budget when seeding is requested, then DefaultWidth.
+func (o Options) resolveWidth(c *memsim.Core) int {
+	if o.Width > 0 {
+		return o.Width
+	}
+	if o.SeedWidthFromMSHRs {
+		return c.MSHRBudget()
+	}
+	return DefaultWidth
 }
 
 // maxWidth resolves the slot-buffer capacity for a controller-driven run.
@@ -133,10 +153,7 @@ func getSlots(n int) *[]slot { return exec.GetPooled[slot](&slotPool, n) }
 // Run executes every lookup of the machine using AMAC with the given
 // options and returns scheduling statistics.
 func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
-	width := opts.Width
-	if width <= 0 {
-		width = DefaultWidth
-	}
+	width := opts.resolveWidth(c)
 	n := m.NumLookups()
 	if n == 0 {
 		return RunStats{Width: width}

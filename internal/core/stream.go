@@ -44,10 +44,7 @@ func getStreamSlots(n int) *[]streamSlot { return exec.GetPooled[streamSlot](&st
 // Completions are reported to the source at the cycle the Done outcome is
 // observed, which is when the response could be sent.
 func RunStream[S any](c *memsim.Core, src exec.Source[S], opts Options) RunStats {
-	width := opts.Width
-	if width <= 0 {
-		width = DefaultWidth
-	}
+	width := opts.resolveWidth(c)
 
 	// Controller-driven runs provision the slot buffer at the growth cap and
 	// move the active window inside it, exactly as in the batch engine.

@@ -222,6 +222,7 @@ type workloadSet struct {
 	skips  *fifoCache[indexKey, indexWorkload[*ops.SkipListWorkload]]
 	serves *fifoCache[servingKey, *servingJoin]
 	adapts *fifoCache[adaptKey, adaptExec]
+	pipes  *fifoCache[pipeKey, *pipeWorkload]
 }
 
 func newWorkloadSet() *workloadSet {
@@ -231,6 +232,7 @@ func newWorkloadSet() *workloadSet {
 		skips:  newFIFOCache[indexKey, indexWorkload[*ops.SkipListWorkload]](4),
 		serves: newFIFOCache[servingKey, *servingJoin](2),
 		adapts: newFIFOCache[adaptKey, adaptExec](4),
+		pipes:  newFIFOCache[pipeKey, *pipeWorkload](4),
 	}
 }
 

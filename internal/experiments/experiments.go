@@ -69,6 +69,16 @@ type Config struct {
 	// are collected in submission order — so the knob trades host memory
 	// (one workload image per busy worker) for wall clock only.
 	Parallel int
+	// Plans filters the pipeline experiment (pipeN) to the plans whose names
+	// contain any of the comma-separated, case-insensitive tokens; empty
+	// runs every plan. Validate with ValidatePipePlans.
+	Plans string
+	// Burst overrides the pipeline experiment's pump lease size (admissions
+	// per upstream lease); zero keeps the pipeline default.
+	Burst int
+	// PipeCap overrides the pipeline experiment's inter-stage pipe capacity
+	// in rows (the backpressure bound); zero keeps the pipeline default.
+	PipeCap int
 }
 
 func (c Config) scale() Scale {
@@ -136,6 +146,18 @@ type sizes struct {
 	adaptBST     int
 	adaptSegment int
 	adaptProbe   int
+
+	// pipeN knobs: root probe rows per plan, the DRAM-resident build-table
+	// size, the cache-resident dimension table of the mixed chain plan, the
+	// BST of the probe→filter plan, the aggregation group count, and the
+	// mini-planner's root sample size (whose first half warms, second half
+	// measures — it must cover the dimension table about twice over).
+	pipeRows   int
+	pipeBuild  int
+	pipeDim    int
+	pipeBST    int
+	pipeGroups int
+	pipeSample int
 }
 
 func (c Config) sizes() sizes {
@@ -150,6 +172,7 @@ func (c Config) sizes() sizes {
 			t4Threads:   []int{1, 8, 16, 64},
 			windows:     []int{1, 5, 10, 15},
 			adaptDim:    1 << 8, adaptBST: 8, adaptSegment: 256, adaptProbe: 64,
+			pipeRows: 1 << 12, pipeBuild: 1 << 12, pipeDim: 1 << 7, pipeBST: 1 << 9, pipeGroups: 128, pipeSample: 256,
 		}
 	case Paper:
 		return sizes{
@@ -161,6 +184,7 @@ func (c Config) sizes() sizes {
 			t4Threads:   []int{1, 2, 4, 8, 16, 24, 32, 40, 48, 56, 64},
 			windows:     []int{1, 5, 10, 15},
 			adaptDim:    1 << 12, adaptBST: 12, adaptSegment: 4096, adaptProbe: 512,
+			pipeRows: 1 << 18, pipeBuild: 1 << 20, pipeDim: 1 << 10, pipeBST: 1 << 12, pipeGroups: 4096, pipeSample: 4096,
 		}
 	default: // Small
 		return sizes{
@@ -172,6 +196,7 @@ func (c Config) sizes() sizes {
 			t4Threads:   []int{1, 2, 4, 8, 16, 24, 32, 48, 64},
 			windows:     []int{1, 5, 10, 15},
 			adaptDim:    1 << 12, adaptBST: 12, adaptSegment: 2048, adaptProbe: 256,
+			pipeRows: 1 << 16, pipeBuild: 1 << 16, pipeDim: 1 << 9, pipeBST: 1 << 11, pipeGroups: 1024, pipeSample: 2048,
 		}
 	}
 }

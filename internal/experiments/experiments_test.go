@@ -20,6 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3", "table3", "fig5a", "fig5b", "fig6", "fig7", "fig8", "table4",
 		"fig9", "fig10", "fig11", "fig12a", "fig12b", "fig13",
 		"abl-inflight", "abl-refill", "abl-mshr", "scaleN",
+		"serveN", "adaptN", "pipeN",
 	}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {

@@ -98,6 +98,8 @@ func TestSweepParallelMatchesSerial(t *testing.T) {
 		{"serveN", Config{Scale: Tiny, Seed: 11, Workers: 2}},
 		{"serveN", Config{Scale: Tiny, Seed: 11, Arrivals: "bursty", QueueCap: 32}},
 		{"fig10", Config{Scale: Tiny, Seed: 11}},
+		{"pipeN", Config{Scale: Tiny, Seed: 11}},
+		{"pipeN", Config{Scale: Tiny, Seed: 11, QueueCap: 32}},
 	}
 	for _, tc := range cases {
 		serialCfg := tc.cfg

@@ -255,6 +255,13 @@ func (c *Core) L2() *Cache { return c.l2 }
 // MSHROutstanding returns the number of misses currently in flight.
 func (c *Core) MSHROutstanding() int { return c.mshr.Outstanding() }
 
+// MSHRBudget returns the number of L1 miss-status registers available to the
+// representative thread (L1MSHRs divided by the SMT sharer count, at least
+// one). It is the hardware's memory-level-parallelism limit: the paper finds
+// AMAC's throughput saturates once the slot window covers it, so width
+// controllers use it as their starting width.
+func (c *Core) MSHRBudget() int { return c.mshr.Size() }
+
 // Instr charges n abstract instructions of compute. Cycles advance at the
 // core's effective issue width. Instr runs for every simulated instruction
 // charge, so whole-cycle extraction avoids the hardware divide: a Lemire

@@ -19,8 +19,8 @@ type BSTSearchMachine struct {
 	Tree *bst.Tree
 	// In is the probe relation, materialized in the arena.
 	In *Input
-	// Out collects matches.
-	Out *Output
+	// Out collects matches (an *Output, or a pipeline stage's pipe).
+	Out Collector
 	// Provision is the stage count GP and SPP provision for; zero derives
 	// it from the tree height estimate for a random BST.
 	Provision int
@@ -56,7 +56,14 @@ func (m *BSTSearchMachine) ProvisionedStages() int {
 // Init implements exec.Machine (code stage 0).
 func (m *BSTSearchMachine) Init(c *memsim.Core, s *BSTState, i int) exec.Outcome {
 	key, payload := m.In.Read(c, i)
-	s.idx = i
+	return m.InitKey(c, s, i, key, payload)
+}
+
+// InitKey is stage 0 for a key already in registers: descend from the root.
+// Pipeline stages fed by an upstream operator call it directly with the
+// streamed-in row.
+func (m *BSTSearchMachine) InitKey(c *memsim.Core, s *BSTState, rid int, key, payload uint64) exec.Outcome {
+	s.idx = rid
 	s.key = key
 	s.payload = payload
 	s.ptr = m.Tree.Root()

@@ -57,9 +57,16 @@ func (m *GroupByMachine) ProvisionedStages() int {
 // Init implements exec.Machine (code stage 0).
 func (m *GroupByMachine) Init(c *memsim.Core, s *GroupByState, i int) exec.Outcome {
 	key, payload := m.In.Read(c, i)
+	return m.InitKey(c, s, i, key, payload)
+}
+
+// InitKey is stage 0 for a group key already in registers: hash, compute and
+// prefetch the bucket. A pipeline aggregation stage fed by an upstream join
+// calls it directly with the streamed-in row.
+func (m *GroupByMachine) InitKey(c *memsim.Core, s *GroupByState, rid int, key, payload uint64) exec.Outcome {
 	c.Instr(CostHash)
 	bucket := m.Table.BucketAddr(m.Table.Hash(key))
-	s.idx = i
+	s.idx = rid
 	s.key = key
 	s.payload = payload
 	s.bucket = bucket

@@ -21,6 +21,14 @@ type JoinRow struct {
 	ProbePayload uint64
 }
 
+// Collector receives operator result rows. Output is the materializing
+// implementation; the pipeline layer's inter-stage pipes implement it too,
+// so an operator machine emits identically whether its results are the
+// query's output or the next stage's input.
+type Collector interface {
+	Emit(c *memsim.Core, rid int, key, buildPayload, probePayload uint64)
+}
+
 // Output materializes operator results. Stores are charged against a
 // rotating arena-resident buffer addressed by row id — sequential,
 // cache-friendly traffic like the paper's out[idx] = payload — while the

@@ -19,8 +19,8 @@ type ProbeMachine struct {
 	Table *ht.Table
 	// In is the probe relation S, materialized in the arena.
 	In *Input
-	// Out collects materialized matches.
-	Out *Output
+	// Out collects matches (an *Output, or a pipeline stage's pipe).
+	Out Collector
 	// EarlyExit terminates a lookup at its first match (valid when the
 	// build keys are unique); without it the whole chain is scanned, as
 	// required for non-unique build keys.
@@ -69,12 +69,21 @@ func (m *ProbeMachine) ProvisionedStages() int {
 // Init implements exec.Machine (code stage 0).
 func (m *ProbeMachine) Init(c *memsim.Core, s *ProbeState, i int) exec.Outcome {
 	key, payload := m.In.Read(c, i)
+	rid := i
+	if m.RIDs != nil {
+		rid = m.RIDs[i]
+	}
+	return m.InitKey(c, s, rid, key, payload)
+}
+
+// InitKey is stage 0 for a key already in registers: hash, compute and
+// prefetch the bucket. Init reads the materialized input and delegates here;
+// a pipeline stage fed by an upstream operator calls it directly with the
+// streamed-in row, so no input relation exists at all.
+func (m *ProbeMachine) InitKey(c *memsim.Core, s *ProbeState, rid int, key, payload uint64) exec.Outcome {
 	c.Instr(CostHash)
 	bucket := m.Table.BucketAddr(m.Table.Hash(key))
-	s.idx = i
-	if m.RIDs != nil {
-		s.idx = m.RIDs[i]
-	}
+	s.idx = rid
 	s.key = key
 	s.payload = payload
 	s.ptr = bucket

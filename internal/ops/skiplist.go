@@ -24,8 +24,8 @@ type SkipListSearchMachine struct {
 	List *skiplist.List
 	// In is the probe relation, materialized in the arena.
 	In *Input
-	// Out collects matches.
-	Out *Output
+	// Out collects matches (an *Output, or a pipeline stage's pipe).
+	Out Collector
 	// Provision is the stage count GP and SPP provision for; zero derives
 	// an estimate from the list size.
 	Provision int
@@ -66,7 +66,14 @@ func expectedSkipHops(n int) int {
 // successor, as in Table 1.
 func (m *SkipListSearchMachine) Init(c *memsim.Core, s *SkipListSearchState, i int) exec.Outcome {
 	key, payload := m.In.Read(c, i)
-	s.idx = i
+	return m.InitKey(c, s, i, key, payload)
+}
+
+// InitKey is stage 0 for a key already in registers: position at the highest
+// head successor. Pipeline stages fed by an upstream operator call it
+// directly with the streamed-in row.
+func (m *SkipListSearchMachine) InitKey(c *memsim.Core, s *SkipListSearchState, rid int, key, payload uint64) exec.Outcome {
+	s.idx = rid
 	s.key = key
 	s.payload = payload
 	s.x = m.List.Head()

@@ -1,0 +1,210 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"amac/internal/adapt"
+	"amac/internal/ht"
+	"amac/internal/memsim"
+	"amac/internal/ops"
+)
+
+// PlanChoice is the mini-planner's output: one engine assignment per stage,
+// plus what the planning itself cost (simulated cycles on scratch cores, not
+// charged to any measured run).
+type PlanChoice struct {
+	Configs []StageConfig
+	// SampleRows is the root-row sample size the choice was derived from.
+	SampleRows int
+	// PlanCycles is the simulated cost of planning: the sampling pass plus
+	// every stage's probe epochs.
+	PlanCycles uint64
+}
+
+// String renders the per-stage assignment.
+func (pc PlanChoice) String() string {
+	s := ""
+	for i, cfg := range pc.Configs {
+		if i > 0 {
+			s += "→"
+		}
+		s += cfg.String()
+	}
+	return fmt.Sprintf("%s (sample=%d, plan=%dcy)", s, pc.SampleRows, pc.PlanCycles)
+}
+
+// defaultSampleRows is the planner's root sample size when the caller passes
+// zero: enough rows for a warm-up lease plus one probe segment per candidate
+// technique at every stage, small enough that planning costs a fraction of
+// any real plan execution.
+const defaultSampleRows = 512
+
+// Plan runs the cost-seeded mini-planner and returns a per-stage engine
+// assignment. It is cost-seeded in the adaptive subsystem's sense: the
+// planner streams the first sampleRows root rows through a throwaway copy of
+// the plan (all-Baseline, on a scratch core, sink swapped for scratch
+// structures), tapping the rows each inter-stage pipe carries; it then
+// replays every stage's tapped sample through adapt's probe machinery — the
+// same busy-cycles-per-completion comparison the online controller uses,
+// with the AMAC starting width seeded from the scratch core's measured MSHR
+// budget — and reads off each stage's winning technique and window. The sink
+// stage's engine is then chosen by composed trial runs of the sampled plan
+// (see below), because the sink drives the plan and overlaps its in-flight
+// lookups with upstream pump leases — an effect isolated replay cannot see.
+//
+// The planner requires every probed structure to be populated (prebuild
+// tables before planning; declared PreludeBuild phases are NOT run) and must
+// be called after all arena allocations for the workload are done: it
+// allocates scratch sink structures in the builder's arena on first use. The
+// choice is computed once and cached, so every rebuilt Pipeline of a sweep
+// shares one deterministic assignment.
+func (b *Builder) Plan(hw memsim.Config, sampleRows int, cfg adapt.Config) PlanChoice {
+	if b.choice != nil {
+		return *b.choice
+	}
+	b.validate()
+	if sampleRows <= 0 {
+		sampleRows = defaultSampleRows
+	}
+
+	// Scratch sink structures: the sampling pass must not pollute the real
+	// sink (an aggregate table has no reset), so the throwaway plan folds
+	// into twins allocated once in the builder's arena.
+	if b.scratchOut == nil {
+		b.scratchOut = ops.NewOutput(b.a, false)
+		if last := b.defs[len(b.defs)-1]; last.kind == kindAggregate {
+			b.scratchAgg = ht.NewAgg(b.a, int(last.agg.NumBuckets()))
+		}
+	}
+
+	sp := b.build(buildSpec{
+		sinkOut:   b.scratchOut,
+		sinkAgg:   b.scratchAgg,
+		tapCap:    sampleRows,
+		rootLimit: sampleRows,
+	})
+	// Declared build preludes do NOT run in the sampling pass — they mutate
+	// the real table, and the planner's contract is that probed structures
+	// are already populated.
+	sp.prelude = nil
+
+	choice := PlanChoice{SampleRows: sampleRows, Configs: make([]StageConfig, len(sp.stages))}
+
+	// Sampling pass: all-Baseline, so the tap captures the plan's true row
+	// stream with no scheduling artifacts.
+	pooled := memsim.AcquireSystem(hw)
+	base := make([]StageConfig, len(sp.stages))
+	for i := range base {
+		base[i] = StageConfig{Tech: ops.Baseline}
+	}
+	sp.Run(pooled.Core, base)
+	choice.PlanCycles += pooled.Core.Cycle()
+	pooled.Release()
+
+	// Probe-epoch geometry sized to the measured half of the sample (each
+	// stage sampler spends the first half warming small structures to their
+	// steady-state residency): one probe per candidate fits with rows left
+	// over to exploit (which refines the AMAC width / group size before it
+	// is read off).
+	acfg := cfg
+	if acfg.ProbeLookups <= 0 {
+		acfg.ProbeLookups = max(32, sampleRows/16)
+	}
+	if acfg.SegmentLookups <= 0 {
+		acfg.SegmentLookups = max(64, sampleRows/8)
+	}
+	// Sampling is off the measured path, so the group-size hill climb can
+	// run: a GP/SPP winner is assigned the group size its exploit segments
+	// settled on, not just the seeded window.
+	acfg.TuneGroupWindow = true
+
+	last := len(sp.stages) - 1
+	var sinkCtl *adapt.Controller
+	for i, st := range sp.stages {
+		var rows []ops.JoinRow
+		if i > 0 {
+			rows = sp.pipes[i-1].tap
+		}
+		if i > 0 && len(rows) == 0 {
+			// The sample starved this stage (everything filtered upstream):
+			// fall back to the paper's robust default.
+			choice.Configs[i] = StageConfig{Tech: ops.AMAC}
+			continue
+		}
+		// A fresh scratch core per stage: each stage's probe epochs start
+		// from the same cold state, so the assignment does not depend on
+		// which stage happened to be sampled first.
+		pooled := memsim.AcquireSystem(hw)
+		ctl := adapt.NewControllerFor(pooled.Core, acfg)
+		st.sample(pooled.Core, ctl, rows)
+		choice.PlanCycles += pooled.Core.Cycle()
+		pooled.Release()
+
+		tech := ctl.Technique()
+		sc := StageConfig{Tech: tech}
+		switch tech {
+		case ops.AMAC:
+			sc.Window = ctl.Width()
+		case ops.GP, ops.SPP:
+			sc.Window = ctl.GroupWindow(tech)
+		}
+		choice.Configs[i] = sc
+		if i == last {
+			sinkCtl = ctl
+		}
+	}
+
+	// The sink's assignment is special: the sink engine drives the whole
+	// plan, and an engine with lookups in flight keeps them progressing
+	// while a pump lease runs the upstream stages — a cross-stage overlap an
+	// isolated replay of the sink's rows cannot price. So the sink is
+	// chosen in composition: trial-run the sampled plan end to end under
+	// each candidate sink engine (upstream stages pinned to the choices
+	// above, windows seeded from the isolated controller's tuning) and keep
+	// the cheapest.
+	if last >= 1 && sinkCtl != nil {
+		cands := []StageConfig{
+			{Tech: ops.Baseline},
+			{Tech: ops.GP, Window: sinkCtl.GroupWindow(ops.GP)},
+			{Tech: ops.SPP, Window: sinkCtl.GroupWindow(ops.SPP)},
+			{Tech: ops.AMAC, Window: sinkCtl.Width()},
+		}
+		if w := sinkCtl.Width(); w != ops.DefaultWindow {
+			// The width refined on the short sample can overfit; trial the
+			// engine default too and let the measurement arbitrate.
+			cands = append(cands, StageConfig{Tech: ops.AMAC, Window: ops.DefaultWindow})
+		}
+		var best uint64
+		half := sampleRows / 2
+		for ci, cand := range cands {
+			cfgs := append(append([]StageConfig(nil), choice.Configs[:last]...), cand)
+			// Warm half, measure half — the stage samplers' discipline, in
+			// composition: a cold core makes every structure look
+			// DRAM-resident, biasing the trial toward prefetching sinks even
+			// when the real run keeps the probed structure cache-hot. The warm
+			// pass streams the sample's first half; the measured pass streams
+			// the second half, whose keys land in buckets the warm pass never
+			// touched when the structure is genuinely large.
+			pooled := memsim.AcquireSystem(hw)
+			if half > 0 {
+				warm := b.build(buildSpec{sinkOut: b.scratchOut, sinkAgg: b.scratchAgg, rootLimit: half})
+				warm.prelude = nil
+				warm.Run(pooled.Core, cfgs)
+			}
+			warmed := pooled.Core.Cycle()
+			tp := b.build(buildSpec{sinkOut: b.scratchOut, sinkAgg: b.scratchAgg, rootLimit: sampleRows, rootSkip: half})
+			tp.prelude = nil
+			tp.Run(pooled.Core, cfgs)
+			cycles := pooled.Core.Cycle() - warmed
+			pooled.Release()
+			choice.PlanCycles += warmed + cycles
+			if ci == 0 || cycles < best {
+				best = cycles
+				choice.Configs[last] = cand
+			}
+		}
+	}
+
+	b.choice = &choice
+	return choice
+}

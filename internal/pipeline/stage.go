@@ -1,0 +1,240 @@
+package pipeline
+
+import (
+	"amac/internal/adapt"
+	"amac/internal/core"
+	"amac/internal/exec"
+	"amac/internal/memsim"
+	"amac/internal/ops"
+)
+
+// pipeSource adapts an inter-stage pipe to exec.Source, which is what makes
+// a downstream operator's engine composable over an upstream one: when the
+// pipe runs dry, Pull recursively pumps the upstream stage — a bounded,
+// backpressured lease of its engine — and resumes handing out rows the pump
+// buffered. The recursion bottoms out at the root stage, whose source is a
+// materialized batch (exec.MachineSource) or an admission queue
+// (serve.QueueSource).
+type pipeSource[S any] struct {
+	p   *Pipeline
+	idx int // this stage's index; Pull pumps stage idx-1
+	in  *pipe
+
+	// initRow is the operator's stage 0 over a streamed-in row (the machine's
+	// InitKey), stage its ordinary stage dispatch.
+	initRow   func(c *memsim.Core, s *S, r Row) exec.Outcome
+	stage     func(c *memsim.Core, s *S, stage int) exec.Outcome
+	provision int
+
+	// onDone, if non-nil, observes completions (the sink stage of a serving
+	// pipeline records end-to-end latency here).
+	onDone func(req exec.Request, done uint64)
+}
+
+// ProvisionedStages implements exec.Source.
+func (ps *pipeSource[S]) ProvisionedStages() int { return ps.provision }
+
+// Pull implements exec.Source: pop a buffered row, or pump the upstream
+// stage until one appears, the stream ends, or the upstream root reports
+// that nothing arrives before a future cycle.
+func (ps *pipeSource[S]) Pull(c *memsim.Core, s *S, now uint64) exec.PullResult {
+	for {
+		if ps.in.depth() > 0 {
+			r := ps.in.pop(c)
+			out := ps.initRow(c, s, r)
+			return exec.PullResult{Status: exec.Pulled, Out: out, Req: exec.Request{Index: r.RID, Admit: r.Admit}}
+		}
+		if ps.in.done {
+			return exec.PullResult{Status: exec.Exhausted}
+		}
+		waitUntil := ps.p.pump(c, ps.idx-1)
+		if ps.in.depth() > 0 {
+			continue
+		}
+		if waitUntil > 0 {
+			// The chain bottomed out at a root with pending future arrivals:
+			// propagate the wait downstream so only the sink engine idles.
+			return exec.PullResult{Status: exec.Wait, NextArrival: waitUntil}
+		}
+		// The lease ran (consuming upstream input) but every row filtered
+		// out before reaching this pipe; loop and pump again. Progress is
+		// guaranteed: each iteration either advances the upstream stream or
+		// observes it done/waiting.
+	}
+}
+
+// Stage implements exec.Source.
+func (ps *pipeSource[S]) Stage(c *memsim.Core, s *S, stage int) exec.Outcome {
+	return ps.stage(c, s, stage)
+}
+
+// Complete implements exec.Source.
+func (ps *pipeSource[S]) Complete(req exec.Request, done uint64) {
+	if ps.onDone != nil {
+		ps.onDone(req, done)
+	}
+}
+
+// leaseOutcome reports one engine lease (or full run) of a stage.
+type leaseOutcome struct {
+	completed int
+	exhausted bool
+	waitUntil uint64
+	sched     core.RunStats
+}
+
+// stageRunner executes the stage's engine: bounded to quota admissions under
+// the gate when quota > 0 (a pump lease), to exhaustion otherwise (the sink
+// of a static run). opts, when non-nil, carries an adaptive AMAC lease's
+// engine options (persistent width controller attached).
+type stageRunner func(c *memsim.Core, cfg StageConfig, quota int, gate func() bool, noWait bool, opts *core.Options) leaseOutcome
+
+// stageSampler runs the planner's adaptive probe over a sample of the
+// stage's input rows on a scratch core (rows is ignored by root stages,
+// which sample their own materialized input).
+type stageSampler func(c *memsim.Core, ctl *adapt.Controller, rows []ops.JoinRow)
+
+// stageExec is the type-erased runtime of one stage. Go methods cannot be
+// generic, so the Builder's concrete per-operator methods wire each stage
+// through the generic helpers below into these closures.
+type stageExec struct {
+	label   string
+	in, out *pipe // nil for the root / sink respectively
+	cfg     StageConfig
+	run     stageRunner
+	sample  stageSampler
+
+	// tuner is set (one per stage) in adaptive runs.
+	tuner *adapt.StreamTuner
+
+	done  bool
+	sched core.RunStats
+}
+
+// makeRunner builds the engine-dispatch closure over a stage's source.
+func makeRunner[S any](src exec.Source[S]) stageRunner {
+	return func(c *memsim.Core, cfg StageConfig, quota int, gate func() bool, noWait bool, opts *core.Options) leaseOutcome {
+		drive := src
+		var lease *exec.LeaseSource[S]
+		if quota > 0 {
+			lease = &exec.LeaseSource[S]{Src: src, Quota: quota, Gate: gate, NoWait: noWait}
+			drive = lease
+		}
+		amacOpts := core.Options{Width: cfg.Window}
+		if opts != nil {
+			amacOpts = *opts
+		}
+		window := cfg.Window
+		if window <= 0 {
+			window = ops.DefaultWindow
+		}
+		var sched core.RunStats
+		switch cfg.Tech {
+		case ops.Baseline:
+			exec.BaselineStream(c, drive)
+		case ops.GP:
+			exec.GroupPrefetchStream(c, drive, window)
+		case ops.SPP:
+			exec.SoftwarePipelineStream(c, drive, window)
+		case ops.AMAC:
+			sched = core.RunStream(c, drive, amacOpts)
+		default:
+			panic("pipeline: unknown technique")
+		}
+		if lease == nil {
+			return leaseOutcome{exhausted: true, sched: sched}
+		}
+		return leaseOutcome{
+			completed: lease.Completed,
+			exhausted: lease.Exhausted,
+			waitUntil: lease.WaitUntil,
+			sched:     sched,
+		}
+	}
+}
+
+// wirePipeStage connects a non-root stage: its source pops rows from the
+// inbound pipe and feeds them to the operator's InitKey.
+func wirePipeStage[S any](p *Pipeline, st *stageExec, idx int,
+	initRow func(c *memsim.Core, s *S, r Row) exec.Outcome,
+	stage func(c *memsim.Core, s *S, stage int) exec.Outcome,
+	provision int,
+	onDone func(req exec.Request, done uint64),
+) {
+	src := &pipeSource[S]{
+		p: p, idx: idx, in: st.in,
+		initRow: initRow, stage: stage, provision: provision,
+		onDone: onDone,
+	}
+	st.run = makeRunner[S](src)
+	st.sample = func(c *memsim.Core, ctl *adapt.Controller, rows []ops.JoinRow) {
+		if len(rows) == 0 {
+			return
+		}
+		// Warm half, measure half: the first half replays under the baseline
+		// engine so a small structure reaches its steady-state residency
+		// before the controller measures — the long run the choice is for is
+		// overwhelmingly warm. A large structure stays honest: its
+		// second-half keys land in buckets the warm pass never touched.
+		if warm := len(rows) / 2; warm > 0 {
+			wm := &rowsMachine[S]{rows: rows[:warm], initRow: initRow, stage: stage, provision: provision}
+			ops.RunMachine(c, wm, ops.Baseline, ops.Params{})
+			rows = rows[warm:]
+		}
+		m := &rowsMachine[S]{rows: rows, initRow: initRow, stage: stage, provision: provision}
+		adapt.Run[S](c, m, ctl)
+	}
+}
+
+// wireRootStage connects the root stage over an arbitrary source (a
+// materialized batch or an admission queue). sampleM, when non-nil, is a
+// planner twin of the root machine (emitting into scratch) sampled over its
+// first sampleN lookups.
+func wireRootStage[S any](st *stageExec, src exec.Source[S], sampleM exec.Machine[S], sampleN int) {
+	st.run = makeRunner[S](src)
+	st.sample = func(c *memsim.Core, ctl *adapt.Controller, _ []ops.JoinRow) {
+		if sampleM == nil {
+			return
+		}
+		n := sampleM.NumLookups()
+		if sampleN < n {
+			n = sampleN
+		}
+		if n == 0 {
+			return
+		}
+		// Warm half, measure half — same rationale as the pipe-stage sampler.
+		warm := n / 2
+		if warm > 0 {
+			ops.RunMachine(c, exec.Shard[S]{M: sampleM, Lo: 0, N: warm}, ops.Baseline, ops.Params{})
+		}
+		adapt.Run[S](c, exec.Shard[S]{M: sampleM, Lo: warm, N: n - warm}, ctl)
+	}
+}
+
+// rowsMachine replays a captured sample of inter-stage rows as a fixed batch
+// machine, which is what lets the planner measure a mid-plan stage's cost in
+// isolation: the rows its real input pipe would carry, without running the
+// upstream stages again.
+type rowsMachine[S any] struct {
+	rows      []ops.JoinRow
+	initRow   func(c *memsim.Core, s *S, r Row) exec.Outcome
+	stage     func(c *memsim.Core, s *S, stage int) exec.Outcome
+	provision int
+}
+
+// NumLookups implements exec.Machine.
+func (m *rowsMachine[S]) NumLookups() int { return len(m.rows) }
+
+// ProvisionedStages implements exec.Machine.
+func (m *rowsMachine[S]) ProvisionedStages() int { return m.provision }
+
+// Init implements exec.Machine.
+func (m *rowsMachine[S]) Init(c *memsim.Core, s *S, i int) exec.Outcome {
+	return m.initRow(c, s, Row{JoinRow: m.rows[i]})
+}
+
+// Stage implements exec.Machine.
+func (m *rowsMachine[S]) Stage(c *memsim.Core, s *S, stage int) exec.Outcome {
+	return m.stage(c, s, stage)
+}
