@@ -46,8 +46,38 @@ type AdaptiveConfig = adapt.Config
 type AdaptiveController = adapt.Controller
 
 // AdaptiveInfo reports what a controller did: probe epochs, technique
-// switches, per-technique lookup tallies, width extremes.
+// switches, per-technique lookup tallies, width extremes, and the full
+// decision log (Decisions).
 type AdaptiveInfo = adapt.Info
+
+// AdaptiveDecision is one entry of a controller's decision log: what the
+// controller decided (probe start, calibration, technique switch, drift or
+// queue-pressure re-probe), the simulated cycle it decided at, the
+// before/after techniques, the width in force and the cycles-per-lookup
+// evidence it acted on. Serving callers read the log off
+// ServiceResult.PerWorker[w].Adapt.Decisions (or AdaptiveController.Decisions)
+// to answer "why did this shard switch technique?" without a trace viewer.
+type AdaptiveDecision = adapt.Decision
+
+// AdaptiveDecisionKind classifies a decision-log entry.
+type AdaptiveDecisionKind = adapt.DecisionKind
+
+// The decision kinds.
+const (
+	// DecisionProbeStart marks the beginning of a probe epoch.
+	DecisionProbeStart = adapt.KindProbeStart
+	// DecisionCalibrate records a probe epoch that kept the incumbent (or the
+	// first calibration).
+	DecisionCalibrate = adapt.KindCalibrate
+	// DecisionSwitch records a probe epoch whose winner differs from the
+	// incumbent.
+	DecisionSwitch = adapt.KindSwitch
+	// DecisionDriftReprobe records a calibration discarded on cost drift.
+	DecisionDriftReprobe = adapt.KindDriftReprobe
+	// DecisionQueueReprobe records a calibration discarded on a serving
+	// queue-depth jump.
+	DecisionQueueReprobe = adapt.KindQueueReprobe
+)
 
 // NewAdaptiveController builds a controller with the given configuration.
 func NewAdaptiveController(cfg AdaptiveConfig) *AdaptiveController {

@@ -218,6 +218,64 @@ func BenchmarkServeDrop(b *testing.B) {
 	benchmarkServe(b, amac.AMAC, bursty, 64, amac.QueueDrop, join, out)
 }
 
+// ---------------------------------------------------------------------------
+// Observability overhead: the same runs with the trace/metrics sinks off and
+// on. The "off" arms are the guarded path — instrumentation is threaded
+// through every engine unconditionally, so these must stay within noise of
+// the pre-instrumentation numbers (the bench gate compares them against the
+// committed baseline), and TestDisabledObsZeroAllocPublicAPI asserts the
+// disabled event sites allocate nothing.
+// ---------------------------------------------------------------------------
+
+func benchmarkServeObs(b *testing.B, traced bool) {
+	join, out := serveBenchJoin(b)
+	arrivals := amac.Poisson{MeanPeriod: 260}.Schedule(1<<13, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		opts := amac.ServiceOptions{
+			Hardware:  amac.XeonX5670(),
+			Technique: amac.AMAC,
+			Window:    10,
+		}
+		if traced {
+			opts.Trace = amac.NewTrace(0)
+			opts.Metrics = amac.NewMetrics(0)
+		}
+		out.Reset()
+		res := amac.RunService(opts, []amac.ServiceWorker[amac.ProbeState]{{
+			Machine:  join.ProbeMachine(out, true),
+			Arrivals: arrivals,
+		}})
+		cycles = res.ElapsedCycles()
+	}
+	b.ReportMetric(float64(cycles), "simcycles/run")
+}
+
+func BenchmarkServeObs(b *testing.B) {
+	b.Run("off", func(b *testing.B) { benchmarkServeObs(b, false) })
+	b.Run("on", func(b *testing.B) { benchmarkServeObs(b, true) })
+}
+
+func benchmarkStreamObs(b *testing.B, tr *amac.Trace) {
+	join, out := serveBenchJoin(b)
+	sys := amac.MustSystem(amac.XeonX5670())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Reset()
+		c := sys.NewCore()
+		amac.RunStream(c, amac.NewMachineSource(join.ProbeMachine(out, false)),
+			amac.Options{Width: 10, Trace: tr.Core("bench core")})
+	}
+}
+
+func BenchmarkStreamObs(b *testing.B) {
+	b.Run("off", func(b *testing.B) { benchmarkStreamObs(b, nil) })
+	b.Run("on", func(b *testing.B) { benchmarkStreamObs(b, amac.NewTrace(0)) })
+}
+
 // BenchmarkSimulatorLoad measures the raw cost of the memory-hierarchy model
 // itself (the substrate every other number is built on).
 func BenchmarkSimulatorLoad(b *testing.B) {

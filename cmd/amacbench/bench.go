@@ -328,6 +328,29 @@ func servingBenchmarks(out *benchFile) error {
 		}
 	}
 
+	// Observability pair: the AMAC serving run with the trace and metrics
+	// sinks attached versus the untraced serve-run/AMAC entry above. The
+	// untraced arm is the guarded (disabled) path; the gate holds it to the
+	// committed pre-instrumentation baseline, and the traced arm documents
+	// the price of full event recording.
+	out.Benchmarks = append(out.Benchmarks, measure("serve-obs/off", func() uint64 {
+		return serveOnce(amac.AMAC, arrivals)
+	}))
+	out.Benchmarks = append(out.Benchmarks, measure("serve-obs/on", func() uint64 {
+		srvOut.Reset()
+		res := amac.RunService(amac.ServiceOptions{
+			Hardware:  amac.XeonX5670(),
+			Technique: amac.AMAC,
+			Window:    10,
+			Trace:     amac.NewTrace(0),
+			Metrics:   amac.NewMetrics(0),
+		}, []amac.ServiceWorker[amac.ProbeState]{{
+			Machine:  join.ProbeMachine(srvOut, true),
+			Arrivals: arrivals,
+		}})
+		return res.ElapsedCycles()
+	}))
+
 	// Bounded drop queue under bursty overload: exercises the admission
 	// ring's wrap-around and the drop accounting.
 	bursty := amac.Bursty{Period: 60, BurstLen: 128, Off: 24000}.Schedule(srvBenchSize, 11)

@@ -17,6 +17,8 @@
 //	amacbench -exp pipeN                # streaming multi-operator pipelines + mini-planner
 //	amacbench -exp pipeN -plans mixed -burst 32  # one plan, smaller pump leases
 //	amacbench -exp serveN -json         # machine-readable results, one JSON object per row
+//	amacbench -exp adaptN -trace t.json # export a Perfetto-loadable event trace
+//	amacbench -exp obsN -metrics m.jsonl -metrics-interval 2048  # gauge time series
 //	amacbench -bench                    # benchmark suite -> BENCH_pr4.json
 //	amacbench -bench -benchgate BENCH_pr4.json  # CI gate: fail on >3x ns/op regressions
 //	amacbench -exp fig6 -cpuprofile cpu.prof  # profile the simulator hot path
@@ -39,6 +41,7 @@ import (
 	"time"
 
 	"amac/internal/experiments"
+	"amac/internal/obs"
 	"amac/internal/profile"
 	"amac/internal/serve"
 )
@@ -58,6 +61,9 @@ func main() {
 		burst     = flag.Int("burst", 0, "pipeline pump lease size: admissions per upstream lease (0 = pipeline default)")
 		pipeCap   = flag.Int("pipecap", 0, "pipeline inter-stage pipe capacity in rows, the backpressure bound (0 = pipeline default)")
 		jsonOut   = flag.Bool("json", false, "emit results as JSON Lines (one object per table row) instead of text tables")
+		tracePath = flag.String("trace", "", "write a Chrome/Perfetto trace of the experiment's designated cell to this file")
+		metPath   = flag.String("metrics", "", "write the designated cell's gauge time series to this file as JSON Lines")
+		metEvery  = flag.Int("metrics-interval", 0, "metrics sampling period in simulated cycles (0 = default 4096); requires -metrics")
 		bench     = flag.Bool("bench", false, "run the benchmark suite and write per-benchmark ns/op, allocs/op and simulated cycles")
 		benchOut  = flag.String("benchout", "BENCH_pr4.json", "output path for -bench")
 		benchGate = flag.String("benchgate", "", "baseline JSON to gate -bench against: fail on any shared benchmark regressing more than 3x in ns/op")
@@ -144,6 +150,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
 		os.Exit(2)
 	}
+	if err := validateObsFlags(*exp, *bench, *tracePath, *metPath, *metEvery); err != nil {
+		fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
+		os.Exit(2)
+	}
 	sc, err := experiments.ParseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -153,6 +163,12 @@ func main() {
 		Scale: sc, Seed: *seed, Window: *window, Workers: *workers,
 		Arrivals: *arrivals, QueueCap: *qcap, Parallel: *parallel,
 		Plans: *plans, Burst: *burst, PipeCap: *pipeCap,
+	}
+	if *tracePath != "" {
+		cfg.Trace = obs.NewTrace(0)
+	}
+	if *metPath != "" {
+		cfg.Metrics = obs.NewMetrics(*metEvery)
 	}
 
 	if *bench {
@@ -197,6 +213,63 @@ func main() {
 		}
 		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+
+	if cfg.Trace != nil {
+		if err := writeTrace(*tracePath, cfg.Trace); err != nil {
+			fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if cfg.Metrics != nil {
+		if err := writeMetrics(*metPath, cfg.Metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace exports the accumulated event trace as Chrome trace-event JSON
+// (Perfetto-loadable) and reports what was written on stderr, keeping stdout
+// clean for -json pipelines.
+func writeTrace(path string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	events := 0
+	for _, c := range tr.Cores() {
+		events += c.Len()
+	}
+	fmt.Fprintf(os.Stderr, "trace: wrote %s (%d core(s), %d event(s))\n", path, len(tr.Cores()), events)
+	return nil
+}
+
+// writeMetrics exports the sampled gauge time series as JSON Lines.
+func writeMetrics(path string, m *obs.Metrics) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSONL(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing metrics %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	samples := 0
+	for _, c := range m.Cores() {
+		samples += c.Samples()
+	}
+	fmt.Fprintf(os.Stderr, "metrics: wrote %s (%d core(s), %d sample(s))\n", path, len(m.Cores()), samples)
+	return nil
 }
 
 // servingExperiments are the experiment ids whose runs consume the serving
@@ -263,6 +336,62 @@ func validatePipelineFlags(exp string, bench bool, plans string, burst, pipeCap 
 		return nil
 	}
 	return fmt.Errorf("%s only affects the pipeline experiment (pipeN), not %q; drop the flag or pick the pipeline experiment", s, exp)
+}
+
+// traceExperiments are the experiment ids with a designated trace cell: the
+// one run per experiment that a non-nil Config.Trace records.
+var traceExperiments = map[string]bool{
+	"serveN": true,
+	"adaptN": true,
+	"pipeN":  true,
+	"obsN":   true,
+}
+
+// metricsExperiments are the experiment ids whose designated cell samples the
+// gauge time series (the serving experiments and the observability replay;
+// pipeN's batch pipelines have no per-worker gauge set).
+var metricsExperiments = map[string]bool{
+	"serveN": true,
+	"adaptN": true,
+	"obsN":   true,
+}
+
+// validateObsFlags rejects -trace/-metrics/-metrics-interval combinations
+// that would silently produce an empty or meaningless export, mirroring the
+// serving and pipeline flag guards: the sinks record one experiment's
+// designated cell, so they need exactly one experiment that has one, and an
+// interval is meaningless without a metrics file to sample into.
+func validateObsFlags(exp string, bench bool, trace, metrics string, interval int) error {
+	if interval < 0 {
+		return fmt.Errorf("-metrics-interval must be non-negative, got %d", interval)
+	}
+	if interval > 0 && metrics == "" {
+		return fmt.Errorf("-metrics-interval requires -metrics (there is no series to sample into)")
+	}
+	if trace == "" && metrics == "" {
+		return nil
+	}
+	var set []string
+	if trace != "" {
+		set = append(set, "-trace")
+	}
+	if metrics != "" {
+		set = append(set, "-metrics")
+	}
+	s := strings.Join(set, "/")
+	if bench {
+		return fmt.Errorf("%s has no effect with -bench (the benchmark suite runs untraced by design)", s)
+	}
+	if exp == "all" {
+		return fmt.Errorf("%s needs a single experiment, not -exp all (each file holds one experiment's designated cell)", s)
+	}
+	if trace != "" && !traceExperiments[exp] {
+		return fmt.Errorf("-trace only records the serving, pipeline and observability experiments (serveN, adaptN, pipeN, obsN), not %q", exp)
+	}
+	if metrics != "" && !metricsExperiments[exp] {
+		return fmt.Errorf("-metrics only samples the serving and observability experiments (serveN, adaptN, obsN), not %q", exp)
+	}
+	return nil
 }
 
 // listExperiments prints every registered experiment id and title.

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
 	"amac/internal/experiments"
+	"amac/internal/obs"
 )
 
 // TestValidateServingFlags: -arrivals/-qcap must be rejected whenever they
@@ -116,6 +120,154 @@ func TestPipelineExperimentsRegistered(t *testing.T) {
 		if err := validatePipelineFlags(id, false, "mixed", 8, 16); err != nil {
 			t.Fatalf("pipeline experiment %q rejected: %v", id, err)
 		}
+	}
+}
+
+// TestValidateObsFlags: -trace/-metrics/-metrics-interval must be rejected
+// whenever they would silently produce an empty or meaningless export — an
+// experiment without a designated cell, -exp all, the benchmark suite, or an
+// interval with no metrics file — and accepted for the allowlisted
+// experiments.
+func TestValidateObsFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		exp      string
+		bench    bool
+		trace    string
+		metrics  string
+		interval int
+		wantErr  string // substring; empty means valid
+	}{
+		{name: "no obs flags", exp: "fig6"},
+		{name: "serveN with trace", exp: "serveN", trace: "t.json"},
+		{name: "adaptN with trace and metrics", exp: "adaptN", trace: "t.json", metrics: "m.jsonl"},
+		{name: "pipeN with trace", exp: "pipeN", trace: "t.json"},
+		{name: "obsN with everything", exp: "obsN", trace: "t.json", metrics: "m.jsonl", interval: 2048},
+		{name: "obsN metrics only", exp: "obsN", metrics: "m.jsonl"},
+		{name: "negative interval", exp: "obsN", metrics: "m.jsonl", interval: -1, wantErr: "must be non-negative"},
+		{name: "interval without metrics", exp: "obsN", trace: "t.json", interval: 2048, wantErr: "-metrics-interval requires -metrics"},
+		{name: "trace with fig6", exp: "fig6", trace: "t.json", wantErr: "-trace only records"},
+		{name: "metrics with fig5b", exp: "fig5b", metrics: "m.jsonl", wantErr: "-metrics only samples"},
+		{name: "metrics with pipeN", exp: "pipeN", metrics: "m.jsonl", wantErr: "-metrics only samples"},
+		{name: "trace with exp all", exp: "all", trace: "t.json", wantErr: "not -exp all"},
+		{name: "metrics with exp all", exp: "all", metrics: "m.jsonl", wantErr: "not -exp all"},
+		{name: "bench with trace", bench: true, trace: "t.json", wantErr: "no effect with -bench"},
+		{name: "bench with metrics", bench: true, metrics: "m.jsonl", wantErr: "no effect with -bench"},
+		{name: "bench without obs flags", bench: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateObsFlags(tc.exp, tc.bench, tc.trace, tc.metrics, tc.interval)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected an error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestObsExperimentsRegistered: every experiment in the trace and metrics
+// allowlists must exist in the registry and be accepted by the validator, so
+// a renamed experiment cannot leave a dangling allowlist entry.
+func TestObsExperimentsRegistered(t *testing.T) {
+	for id := range traceExperiments {
+		if _, ok := experiments.Find(id); !ok {
+			t.Fatalf("trace allowlist entry %q is not a registered experiment", id)
+		}
+		if err := validateObsFlags(id, false, "t.json", "", 0); err != nil {
+			t.Fatalf("trace experiment %q rejected: %v", id, err)
+		}
+	}
+	for id := range metricsExperiments {
+		if _, ok := experiments.Find(id); !ok {
+			t.Fatalf("metrics allowlist entry %q is not a registered experiment", id)
+		}
+		if err := validateObsFlags(id, false, "", "m.jsonl", 0); err != nil {
+			t.Fatalf("metrics experiment %q rejected: %v", id, err)
+		}
+	}
+}
+
+// TestTraceJSONRoundTrip runs the observability replay with a trace attached
+// and parses the Chrome export back: the file must be a single valid JSON
+// object in trace-event format, name its process and fixed tracks, carry
+// decision instants on the controller track, and keep every track's B/E spans
+// balanced (never more ends than begins).
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := obs.NewTrace(0)
+	if _, err := experiments.Run("obsN", experiments.Config{Scale: experiments.Tiny, Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   uint64         `json:"ts"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want \"ms\"", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace export holds no events")
+	}
+
+	var haveProcess, haveController, haveDecision, haveSlotSpan bool
+	depth := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "" {
+			t.Fatalf("event %+v has no phase", ev)
+		}
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			haveProcess = true
+		case ev.Ph == "M" && ev.Name == "thread_name" && ev.Args["name"] == "controller":
+			haveController = true
+		case ev.Ph == "i" && ev.Tid == 0 && ev.Name == obs.DecisionName(obs.DecSwitch):
+			haveDecision = true
+		}
+		key := fmt.Sprintf("%d/%d", ev.Pid, ev.Tid)
+		switch ev.Ph {
+		case "B":
+			depth[key]++
+			if ev.Tid >= 3 {
+				haveSlotSpan = true
+			}
+		case "E":
+			depth[key]--
+			if depth[key] < 0 {
+				t.Fatalf("track %s closes more spans than it opens", key)
+			}
+		}
+	}
+	if !haveProcess || !haveController {
+		t.Fatalf("missing metadata: process=%v controller=%v", haveProcess, haveController)
+	}
+	if !haveDecision {
+		t.Fatal("no technique-switch decision instant on the controller track (the shift workload must switch)")
+	}
+	if !haveSlotSpan {
+		t.Fatal("no slot lifecycle span in the export")
 	}
 }
 

@@ -36,6 +36,16 @@
 //     plans whose rows stream stage-to-stage through bounded, backpressured
 //     pipes with a per-stage engine choice — static, planned by the
 //     cost-seeded mini-planner (PipelineBuilder.Plan), or fully adaptive,
+//   - the observability subsystem (Trace, Metrics), which records the whole
+//     stack on the simulated clock — slot lifecycle, group boundaries,
+//     controller decisions, queue and pipe activity as Chrome/Perfetto
+//     trace-event JSON, and gauge time series (width, MSHR occupancy, queue
+//     depth, sliding p99, stall fraction) as JSON Lines. A nil sink is the
+//     disabled state: every recording method on a nil receiver is a
+//     single-branch, zero-allocation no-op, and tracing never changes a
+//     simulated result byte. Adaptive controllers additionally keep an
+//     always-on structured decision log (AdaptiveInfo.Decisions) answering
+//     "why did this shard switch technique?" without a trace viewer,
 //   - the experiment harness that regenerates every table and figure of the
 //     paper's evaluation (Experiments, RunExperiment; also exposed through
 //     cmd/amacbench).

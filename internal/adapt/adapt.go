@@ -33,6 +33,7 @@ import (
 	"amac/internal/core"
 	"amac/internal/exec"
 	"amac/internal/memsim"
+	"amac/internal/obs"
 	"amac/internal/ops"
 )
 
@@ -141,6 +142,11 @@ type Info struct {
 	// lookups (shards may disagree, so "last in force" has no merged
 	// meaning).
 	Final ops.Technique
+	// Decisions is the controller's decision log: every probe epoch,
+	// calibration, technique switch and reprobe trigger, stamped with the
+	// simulated cycle it was taken at. Merged multi-shard tallies
+	// concatenate the shards' logs (each shard runs its own clock).
+	Decisions []Decision
 }
 
 // Share returns the fraction of lookups served by the given technique.
@@ -169,6 +175,7 @@ func (i *Info) Merge(other Info) {
 		i.Lookups[t] += n
 	}
 	i.Sched.Add(other.Sched)
+	i.Decisions = append(i.Decisions, other.Decisions...)
 	i.Final = other.Final
 	for _, t := range ops.Techniques {
 		if i.Lookups[t] > i.Lookups[i.Final] {
@@ -196,6 +203,13 @@ type Controller struct {
 	chosen     ops.Technique
 	refCPL     float64
 	info       Info
+
+	// trace is the optional per-core trace sink (SetTrace); nil methods
+	// no-op, so the hot paths call it unconditionally.
+	trace *obs.CoreTrace
+	// now is the controller's timebase: the driving core's cycle count as of
+	// the last segment or lease boundary, stamped onto decision-log entries.
+	now uint64
 }
 
 // NewController builds a controller with the given configuration. The
@@ -221,6 +235,7 @@ func (ctl *Controller) Info() Info {
 		}
 		info.Lookups = cp
 	}
+	info.Decisions = ctl.Decisions()
 	return info
 }
 
@@ -231,13 +246,14 @@ func (ctl *Controller) Technique() ops.Technique { return ctl.chosen }
 func (ctl *Controller) Width() int { return ctl.width.W }
 
 // amacOptions assembles the AMAC engine options with the width controller
-// attached.
+// and the controller's trace sink attached.
 func (ctl *Controller) amacOptions() core.Options {
 	return core.Options{
 		Width:         ctl.width.W,
 		Controller:    ctl.width,
 		MaxWidth:      ctl.cfg.MaxWidth,
 		ProbeInterval: ctl.cfg.ProbeInterval,
+		Trace:         ctl.trace,
 	}
 }
 
@@ -262,7 +278,7 @@ func (ctl *Controller) observe(cpl float64) {
 		return
 	}
 	if cpl > ctl.refCPL*ctl.cfg.DriftUp || cpl < ctl.refCPL*ctl.cfg.DriftDown {
-		ctl.recalibrate()
+		ctl.recalibrate(KindDriftReprobe, cpl)
 		return
 	}
 	ctl.refCPL = 0.7*ctl.refCPL + 0.3*cpl
@@ -271,11 +287,14 @@ func (ctl *Controller) observe(cpl float64) {
 // recalibrate discards the calibration after a detected phase shift: the
 // next segment boundary runs a probe epoch, and the width and group-size
 // controllers restart from the configured base width (the old tuning
-// belonged to the old phase).
-func (ctl *Controller) recalibrate() {
+// belonged to the old phase). kind and cpl record why — drift band left or
+// queue pressure — in the decision log.
+func (ctl *Controller) recalibrate(kind DecisionKind, cpl float64) {
 	ctl.calibrated = false
 	ctl.width = NewWidthAIMD(ctl.cfg.Window, ctl.cfg.MinWidth, ctl.cfg.MaxWidth)
+	ctl.width.Trace = ctl.trace
 	ctl.groups = nil
+	ctl.record(kind, ctl.chosen, ctl.chosen, cpl)
 }
 
 // driftStop wraps the width controller during an exploited AMAC run: every
@@ -293,6 +312,9 @@ type driftStop struct {
 	patience int
 	streak   int
 	stopped  bool
+	// lastCPL is the out-of-band observation that triggered the stop — the
+	// evidence the controller records in its decision log.
+	lastCPL float64
 }
 
 // newDriftStop arms the detector with the controller's calibrated state.
@@ -314,6 +336,7 @@ func (d *driftStop) Sample(w exec.Window) int {
 	if cpl > 0 && (cpl > d.ref*d.up || cpl < d.ref*d.down) {
 		if d.streak++; d.streak >= d.patience {
 			d.stopped = true
+			d.lastCPL = cpl
 			return exec.StopRun
 		}
 		return d.width.Sample(w)
@@ -328,12 +351,16 @@ func (d *driftStop) Sample(w exec.Window) int {
 // calibrate records a probe epoch's outcome.
 func (ctl *Controller) calibrate(best ops.Technique, bestCPL float64, first bool) {
 	ctl.info.Probes++
+	kind := KindCalibrate
 	if !first && best != ctl.chosen {
 		ctl.info.Switches++
+		kind = KindSwitch
 	}
+	from := ctl.chosen
 	ctl.chosen = best
 	ctl.refCPL = bestCPL
 	ctl.calibrated = true
+	ctl.record(kind, from, best, bestCPL)
 }
 
 // Run executes every lookup of the machine adaptively on core c. Probe
@@ -361,6 +388,7 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], ctl *Controller) Info {
 	pos := 0
 	for pos < n {
 		if !ctl.calibrated {
+			ctl.record(KindProbeStart, ctl.chosen, ctl.chosen, 0)
 			// Warm-up segment: run the incumbent unmeasured first, so the
 			// earliest-probed candidate is not penalised with the phase's
 			// cold caches and untrained stream state — without it the
@@ -396,10 +424,11 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], ctl *Controller) Info {
 			opts.Controller = dw
 			sched := core.Run(c, seg, opts)
 			ctl.account(ops.AMAC, sched.Initiated, sched)
+			ctl.now = c.Cycle()
 			pos += sched.Initiated
 			ctl.refCPL = dw.ref
 			if dw.stopped {
-				ctl.recalibrate()
+				ctl.recalibrate(KindDriftReprobe, dw.lastCPL)
 			}
 			continue
 		}
@@ -434,5 +463,6 @@ func runSegmentW[S any](c *memsim.Core, m exec.Machine[S], ctl *Controller, tech
 		ops.RunMachine(c, seg, tech, ops.Params{Window: window})
 	}
 	ctl.account(tech, n, sched)
+	ctl.now = c.Cycle()
 	return float64(c.Cycle()-start) / float64(n)
 }

@@ -189,6 +189,10 @@ func (t *StreamTuner) Next() Lease {
 		probe = true
 		if t.probing >= 0 {
 			tech = cfg.Techniques[t.probing]
+		} else {
+			// The warm-up lease is granted exactly once per epoch, so it marks
+			// the epoch boundary in the decision log.
+			ctl.record(KindProbeStart, ctl.chosen, ctl.chosen, 0)
 		}
 		// probing == -1 keeps the incumbent: an unmeasured warm-up lease so
 		// the first probed candidate is not penalised with cold caches.
@@ -257,7 +261,7 @@ func (t *StreamTuner) Observe(l Lease, completed int, busyCycles uint64, sched c
 		if d > 2*t.lastDepth && d > 4*cfg.Window {
 			// Same contract as a drift retune: the width tuning belonged to
 			// the old regime, so reset it too.
-			ctl.recalibrate()
+			ctl.recalibrate(KindQueueReprobe, cpl)
 		}
 		t.lastDepth = d
 	}
@@ -272,18 +276,20 @@ func RunLease[S any](c *memsim.Core, src exec.Source[S], t *StreamTuner, l Lease
 	lease := &exec.LeaseSource[S]{Src: src, Quota: l.Quota, Gate: gate, NoWait: noWait}
 	before := c.Stats()
 	var sched core.RunStats
+	tr := t.ctl.trace
 	switch l.Tech {
 	case ops.Baseline:
-		exec.BaselineStream(c, lease)
+		exec.BaselineStreamTraced(c, lease, tr)
 	case ops.GP:
-		exec.GroupPrefetchStream(c, lease, l.Window)
+		exec.GroupPrefetchStreamTraced(c, lease, l.Window, tr)
 	case ops.SPP:
-		exec.SoftwarePipelineStream(c, lease, l.Window)
+		exec.SoftwarePipelineStreamTraced(c, lease, l.Window, tr)
 	case ops.AMAC:
 		sched = core.RunStream(c, lease, l.AMACOpts)
 	}
 	after := c.Stats()
 	busy := (after.Cycles - before.Cycles) - (after.IdleCycles - before.IdleCycles)
+	t.ctl.now = c.Cycle()
 	t.Observe(l, lease.Completed, busy, sched, lease.Exhausted)
 	return lease, sched
 }

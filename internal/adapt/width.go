@@ -1,6 +1,9 @@
 package adapt
 
-import "amac/internal/exec"
+import (
+	"amac/internal/exec"
+	"amac/internal/obs"
+)
 
 // WidthAIMD resizes the AMAC slot window online, implementing the paper's
 // Section 6 observation that AMAC's per-slot independence makes the number
@@ -44,6 +47,11 @@ type WidthAIMD struct {
 	// Cooldown is how many windows are observed without acting after each
 	// resize. Default 2.
 	Cooldown int
+
+	// Trace, if non-nil, receives a decision instant for every width move
+	// (grow, shrink, glide), stamped with the probe window's end cycle.
+	// Purely observational.
+	Trace *obs.CoreTrace
 
 	streakDir int
 	streak    int
@@ -109,11 +117,15 @@ func (a *WidthAIMD) Sample(w exec.Window) int {
 		return a.W
 	}
 
+	old := a.W
+	code := obs.DecWidthGlide
 	switch {
 	case dir > 0:
 		a.W++ // additive increase toward untapped MLP
+		code = obs.DecWidthGrow
 	case satur:
 		a.W -= max(1, a.W/4) // multiplicative decrease off the MSHR wall
+		code = obs.DecWidthShrink
 	default:
 		a.W-- // gentle glide on compute-bound phases
 	}
@@ -122,6 +134,9 @@ func (a *WidthAIMD) Sample(w exec.Window) int {
 	}
 	if a.W > a.Max {
 		a.W = a.Max
+	}
+	if a.W != old {
+		a.Trace.Decision(w.AtCycle, code, int64(a.W), int64(old))
 	}
 	a.streak, a.streakDir = 0, 0
 	a.cool = a.Cooldown

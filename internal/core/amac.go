@@ -29,6 +29,7 @@ import (
 
 	"amac/internal/exec"
 	"amac/internal/memsim"
+	"amac/internal/obs"
 )
 
 // CostStateSwap models AMAC's per-visit overhead: loading a state entry from
@@ -85,6 +86,12 @@ type Options struct {
 	// thread budget is a fraction of the L1 MSHR count. An explicit Width
 	// always wins.
 	SeedWidthFromMSHRs bool
+	// Trace, if non-nil, records the run's slot lifecycle (admit, stage
+	// visits, retries, prefetches, complete), probe-window samples and width
+	// changes into the per-core event ring. Purely observational: simulated
+	// results are bit-identical with or without it, and the nil (disabled)
+	// path costs one predictable branch per event site.
+	Trace *obs.CoreTrace
 }
 
 // resolveWidth applies the width default: an explicit width wins, then the
@@ -176,6 +183,11 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
 		probe = newWidthProbe(c, opts.probeInterval(width))
 	}
 
+	// All trace methods are nil-safe no-ops, so the event sites below run
+	// unconditionally; the disabled path pays an inlined nil check and zero
+	// allocations (see the traced-vs-untraced benchmark pair).
+	tr := opts.Trace
+
 	var stats RunStats
 	stats.Width = width
 	stats.MinWidth, stats.MaxWidth = width, width
@@ -226,13 +238,19 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
 
 	// Prologue: fill the circular buffer, issuing one prefetch per lookup.
 	for k := 0; k < width && next < n; k++ {
+		admitAt := c.Cycle()
 		c.Instr(CostStateSwap)
 		out := m.Init(c, &states[k], next)
 		next++
 		stats.Initiated++
 		issue(c, out)
+		tr.SlotStart(admitAt, k, next-1)
+		if out.Prefetch != 0 {
+			tr.SlotPrefetch(c.Cycle(), k)
+		}
 		if out.Done {
 			stats.Completed++
+			tr.SlotEnd(c.Cycle(), k)
 			continue
 		}
 		slots[k] = slot{busy: true, stage: out.NextStage}
@@ -250,27 +268,40 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
 		// Sampling stops with the run: a stopped engine only drains, and a
 		// late positive verdict must not reopen admission.
 		if ctl != nil && !stopped && stats.Completed-probe.lastCompleted >= probe.interval {
-			switch target := ctl.Sample(probe.sample(c, admit, stats.Completed)); {
+			w := probe.sample(c, admit, stats.Completed)
+			tr.EngineSample(c.Cycle(), admit, w.Outstanding)
+			switch target := ctl.Sample(w); {
 			case target < 0:
 				// StopRun: close admission and let the in-flight lookups
 				// drain; Initiated tells the caller where to resume.
 				stopped = true
 				admit = 0
 				draining = 0
+				tr.Decision(c.Cycle(), obs.DecStopRun, int64(stats.Initiated), 0)
 			case target > 0:
+				old := admit
 				applyWidth(clampWidth(target, capW))
+				if admit != old {
+					tr.WidthChange(c.Cycle(), admit)
+				}
 			}
 		}
 		s := &slots[k]
 		if !s.busy {
 			if k < admit && next < n {
+				admitAt := c.Cycle()
 				c.Instr(CostStateSwap)
 				out := m.Init(c, &states[k], next)
 				next++
 				stats.Initiated++
 				issue(c, out)
+				tr.SlotStart(admitAt, k, next-1)
+				if out.Prefetch != 0 {
+					tr.SlotPrefetch(c.Cycle(), k)
+				}
 				if out.Done {
 					stats.Completed++
+					tr.SlotEnd(c.Cycle(), k)
 				} else {
 					*s = slot{busy: true, stage: out.NextStage}
 					live++
@@ -280,8 +311,10 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
 			continue
 		}
 
+		stage := s.stage
+		visitAt := c.Cycle()
 		c.Instr(CostStateSwap)
-		out := m.Stage(c, &states[k], s.stage)
+		out := m.Stage(c, &states[k], stage)
 		stats.StageVisits++
 		if out.Retry {
 			// Latch held by another in-flight lookup: remember the stage to
@@ -289,11 +322,16 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
 			s.stage = out.NextStage
 			s.retries++
 			stats.Retries++
+			tr.SlotRetry(c.Cycle(), k, stage)
 			k++
 			continue
 		}
+		tr.StageVisit(visitAt, c.Cycle(), k, stage)
 		if !out.Done {
 			issue(c, out)
+			if out.Prefetch != 0 {
+				tr.SlotPrefetch(c.Cycle(), k)
+			}
 			s.stage = out.NextStage
 			k++
 			continue
@@ -306,6 +344,7 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
 		stats.Completed++
 		live--
 		*s = slot{}
+		tr.SlotEnd(c.Cycle(), k)
 		if k >= admit {
 			if draining > 0 {
 				if draining--; draining == 0 {
@@ -313,13 +352,19 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
 				}
 			}
 		} else if !opts.DisableImmediateRefill && next < n {
+			admitAt := c.Cycle()
 			c.Instr(CostStateSwap)
 			out := m.Init(c, &states[k], next)
 			next++
 			stats.Initiated++
 			issue(c, out)
+			tr.SlotStart(admitAt, k, next-1)
+			if out.Prefetch != 0 {
+				tr.SlotPrefetch(c.Cycle(), k)
+			}
 			if out.Done {
 				stats.Completed++
+				tr.SlotEnd(c.Cycle(), k)
 			} else {
 				*s = slot{busy: true, stage: out.NextStage}
 				live++
@@ -367,6 +412,7 @@ func (p *widthProbe) sample(c *memsim.Core, admit, completed int) exec.Window {
 		Width:              admit,
 		Completed:          completed - p.lastCompleted,
 		Outstanding:        c.MSHROutstanding(),
+		AtCycle:            cur.Cycles,
 		Cycles:             cur.Cycles - p.prev.Cycles,
 		Instructions:       cur.Instructions - p.prev.Instructions,
 		StallCycles:        cur.StallCycles - p.prev.StallCycles,

@@ -5,6 +5,7 @@ import (
 
 	"amac/internal/exec"
 	"amac/internal/memsim"
+	"amac/internal/obs"
 )
 
 // streamSlot is one circular-buffer entry of a streaming run: the batch
@@ -55,6 +56,9 @@ func RunStream[S any](c *memsim.Core, src exec.Source[S], opts Options) RunStats
 		capW = opts.maxWidth(width)
 		probe = newWidthProbe(c, opts.probeInterval(width))
 	}
+
+	// Trace methods are nil-safe no-ops; see core.Run.
+	tr := opts.Trace
 
 	var stats RunStats
 	stats.Width = width
@@ -112,6 +116,7 @@ func RunStream[S any](c *memsim.Core, src exec.Source[S], opts Options) RunStats
 		if k >= admit || exhausted || c.Cycle() < waitUntil {
 			return false
 		}
+		pullAt := c.Cycle()
 		c.Instr(CostStateSwap)
 		pr := src.Pull(c, &states[k], c.Cycle())
 		switch pr.Status {
@@ -125,9 +130,14 @@ func RunStream[S any](c *memsim.Core, src exec.Source[S], opts Options) RunStats
 		case exec.Pulled:
 			stats.Initiated++
 			issue(c, pr.Out)
+			tr.SlotStart(pullAt, k, pr.Req.Index)
+			if pr.Out.Prefetch != 0 {
+				tr.SlotPrefetch(c.Cycle(), k)
+			}
 			if pr.Out.Done {
 				stats.Completed++
 				src.Complete(pr.Req, c.Cycle())
+				tr.SlotEnd(c.Cycle(), k)
 				return false
 			}
 			slots[k] = streamSlot{busy: true, stage: pr.Out.NextStage, req: pr.Req}
@@ -146,15 +156,22 @@ func RunStream[S any](c *memsim.Core, src exec.Source[S], opts Options) RunStats
 		// Sampling stops with the run: a stopped engine only drains, and a
 		// late positive verdict must not reopen admission.
 		if ctl != nil && !stopped && stats.Completed-probe.lastCompleted >= probe.interval {
-			switch target := ctl.Sample(probe.sample(c, admit, stats.Completed)); {
+			w := probe.sample(c, admit, stats.Completed)
+			tr.EngineSample(c.Cycle(), admit, w.Outstanding)
+			switch target := ctl.Sample(w); {
 			case target < 0:
 				// StopRun: close admission and let the in-flight lookups
 				// drain; the source keeps the unserved requests.
 				stopped = true
 				admit = 0
 				draining = 0
+				tr.Decision(c.Cycle(), obs.DecStopRun, int64(stats.Initiated), 0)
 			case target > 0:
+				old := admit
 				applyWidth(clampWidth(target, capW))
+				if admit != old {
+					tr.WidthChange(c.Cycle(), admit)
+				}
 			}
 		}
 		s := &slots[k]
@@ -172,18 +189,25 @@ func RunStream[S any](c *memsim.Core, src exec.Source[S], opts Options) RunStats
 			continue
 		}
 
+		stage := s.stage
+		visitAt := c.Cycle()
 		c.Instr(CostStateSwap)
-		out := src.Stage(c, &states[k], s.stage)
+		out := src.Stage(c, &states[k], stage)
 		stats.StageVisits++
 		if out.Retry {
 			s.stage = out.NextStage
 			s.retries++
 			stats.Retries++
+			tr.SlotRetry(c.Cycle(), k, stage)
 			k++
 			continue
 		}
+		tr.StageVisit(visitAt, c.Cycle(), k, stage)
 		if !out.Done {
 			issue(c, out)
+			if out.Prefetch != 0 {
+				tr.SlotPrefetch(c.Cycle(), k)
+			}
 			s.stage = out.NextStage
 			k++
 			continue
@@ -197,6 +221,7 @@ func RunStream[S any](c *memsim.Core, src exec.Source[S], opts Options) RunStats
 		live--
 		src.Complete(s.req, c.Cycle())
 		*s = streamSlot{}
+		tr.SlotEnd(c.Cycle(), k)
 		if k >= admit {
 			if draining > 0 {
 				if draining--; draining == 0 {

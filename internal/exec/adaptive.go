@@ -27,6 +27,10 @@ type Window struct {
 	Completed int
 	// Outstanding is the MSHR occupancy at the sample point.
 	Outstanding int
+	// AtCycle is the simulated cycle at the sample point (the window's end):
+	// the timebase controllers stamp decision-log entries and trace events
+	// with.
+	AtCycle uint64
 
 	// Counter deltas over the window (see memsim.Stats for field meanings).
 	Cycles             uint64

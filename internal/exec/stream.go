@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"amac/internal/memsim"
+	"amac/internal/obs"
 )
 
 // pipeSlot is one SPP pipeline slot of a streaming run.
@@ -57,8 +58,17 @@ func waitCycle(now, next uint64) uint64 {
 // Retry can only be left over from a previous phase, so the spin is bounded
 // defensively exactly as in the batch engine.
 func BaselineStream[S any](c *memsim.Core, src Source[S]) {
+	BaselineStreamTraced(c, src, nil)
+}
+
+// BaselineStreamTraced is BaselineStream with an optional trace sink: the
+// single in-flight request's lifecycle records on slot track 0. All tracer
+// methods are nil-safe, so BaselineStream delegates here with nil and stays
+// allocation-free.
+func BaselineStreamTraced[S any](c *memsim.Core, src Source[S], tr *obs.CoreTrace) {
 	var s S
 	for {
+		pullAt := c.Cycle()
 		c.Instr(CostLoopIter)
 		pr := src.Pull(c, &s, c.Cycle())
 		switch pr.Status {
@@ -68,6 +78,7 @@ func BaselineStream[S any](c *memsim.Core, src Source[S]) {
 			c.AdvanceTo(waitCycle(c.Cycle(), pr.NextArrival))
 			continue
 		}
+		tr.SlotStart(pullAt, 0, pr.Req.Index)
 		out := pr.Out
 		spins := 0
 		for !out.Done {
@@ -79,6 +90,7 @@ func BaselineStream[S any](c *memsim.Core, src Source[S]) {
 				if spins > retryLimit {
 					panic(fmt.Sprintf("exec: baseline stream request %d spun on a latch %d times; machine is stuck", pr.Req.Index, spins))
 				}
+				tr.SlotRetry(c.Cycle(), 0, out.NextStage)
 				out.NextStage = next.NextStage
 				continue
 			}
@@ -86,6 +98,7 @@ func BaselineStream[S any](c *memsim.Core, src Source[S]) {
 			out = next
 		}
 		src.Complete(pr.Req, c.Cycle())
+		tr.SlotEnd(c.Cycle(), 0)
 	}
 }
 
@@ -98,6 +111,16 @@ func BaselineStream[S any](c *memsim.Core, src Source[S]) {
 // arrive after the group launched wait for the entire batch to drain, which
 // is the batch-boundary refill penalty the serving experiments measure.
 func GroupPrefetchStream[S any](c *memsim.Core, src Source[S], group int) {
+	GroupPrefetchStreamTraced(c, src, group, nil)
+}
+
+// GroupPrefetchStreamTraced is GroupPrefetchStream with an optional trace
+// sink: each group records a begin/end span on the engine track (begin at
+// the first member's admission, end after the clean-up pass, the batch-
+// boundary refill penalty made visible), and each member's lifecycle records
+// on the slot track of its group position. Nil tracer keeps the untraced
+// behaviour and allocation profile.
+func GroupPrefetchStreamTraced[S any](c *memsim.Core, src Source[S], group int, tr *obs.CoreTrace) {
 	if group < 1 {
 		group = 1
 	}
@@ -116,6 +139,7 @@ func GroupPrefetchStream[S any](c *memsim.Core, src Source[S], group int) {
 		// Admission: gather the group from whatever the queue holds now.
 		g := 0
 		for g < group {
+			pullAt := c.Cycle()
 			c.Instr(CostGPStage)
 			pr := src.Pull(c, &states[g], c.Cycle())
 			if pr.Status == Exhausted {
@@ -131,12 +155,17 @@ func GroupPrefetchStream[S any](c *memsim.Core, src Source[S], group int) {
 				c.AdvanceTo(waitCycle(c.Cycle(), pr.NextArrival))
 				continue
 			}
+			if g == 0 {
+				tr.GroupStart(pullAt, group)
+			}
+			tr.SlotStart(pullAt, g, pr.Req.Index)
 			issuePrefetch(c, pr.Out)
 			current[g] = pr.Out
 			done[g] = pr.Out.Done
 			reqs[g] = pr.Req
 			if pr.Out.Done {
 				src.Complete(pr.Req, c.Cycle())
+				tr.SlotEnd(c.Cycle(), g)
 			}
 			g++
 		}
@@ -148,18 +177,23 @@ func GroupPrefetchStream[S any](c *memsim.Core, src Source[S], group int) {
 					c.Instr(CostGPSkip)
 					continue
 				}
+				stage := current[j].NextStage
+				visitAt := c.Cycle()
 				c.Instr(CostGPStage)
-				out := src.Stage(c, &states[j], current[j].NextStage)
+				out := src.Stage(c, &states[j], stage)
 				if out.Retry {
 					current[j].NextStage = out.NextStage
 					current[j].Prefetch = 0
+					tr.SlotRetry(c.Cycle(), j, stage)
 					continue
 				}
+				tr.StageVisit(visitAt, c.Cycle(), j, stage)
 				issuePrefetch(c, out)
 				current[j] = out
 				if out.Done {
 					done[j] = true
 					src.Complete(reqs[j], c.Cycle())
+					tr.SlotEnd(c.Cycle(), j)
 				}
 			}
 		}
@@ -168,7 +202,9 @@ func GroupPrefetchStream[S any](c *memsim.Core, src Source[S], group int) {
 		// this one has fully finished.
 		finishSequential(c, src.Stage, states[:g], current[:g], done[:g], func(j int) {
 			src.Complete(reqs[j], c.Cycle())
+			tr.SlotEnd(c.Cycle(), j)
 		})
+		tr.GroupEnd(c.Cycle(), g)
 	}
 }
 
@@ -180,6 +216,16 @@ func GroupPrefetchStream[S any](c *memsim.Core, src Source[S], group int) {
 // longer than the provisioned depth are bailed out and completed on the
 // sequential side path, as in the batch engine.
 func SoftwarePipelineStream[S any](c *memsim.Core, src Source[S], inflight int) {
+	SoftwarePipelineStreamTraced(c, src, inflight, nil)
+}
+
+// SoftwarePipelineStreamTraced is SoftwarePipelineStream with an optional
+// trace sink: each pipeline slot's occupancy records as a begin/end span
+// (begin at admission, end at the slot's static refill point or bail-out),
+// making SPP's fixed refill boundaries directly comparable to AMAC's
+// per-completion refill in a trace viewer. Nil tracer keeps the untraced
+// behaviour and allocation profile.
+func SoftwarePipelineStreamTraced[S any](c *memsim.Core, src Source[S], inflight int, tr *obs.CoreTrace) {
 	if inflight < 1 {
 		inflight = 1
 	}
@@ -222,6 +268,7 @@ func SoftwarePipelineStream[S any](c *memsim.Core, src Source[S], inflight int) 
 				if exhausted || c.Cycle() < waitUntil {
 					continue
 				}
+				pullAt := c.Cycle()
 				c.Instr(CostSPPStage)
 				pr := src.Pull(c, &states[j], c.Cycle())
 				if pr.Status == Exhausted {
@@ -232,6 +279,7 @@ func SoftwarePipelineStream[S any](c *memsim.Core, src Source[S], inflight int) 
 					waitUntil = waitCycle(c.Cycle(), pr.NextArrival)
 					continue
 				}
+				tr.SlotStart(pullAt, j, pr.Req.Index)
 				issuePrefetch(c, pr.Out)
 				slot.busy = true
 				slot.done = pr.Out.Done
@@ -250,15 +298,20 @@ func SoftwarePipelineStream[S any](c *memsim.Core, src Source[S], inflight int) 
 				if slot.age >= depth {
 					slot.busy = false
 					occupied--
+					tr.SlotEnd(c.Cycle(), j)
 				}
 			default:
+				stage := slot.current.NextStage
+				visitAt := c.Cycle()
 				c.Instr(CostSPPStage)
-				out := src.Stage(c, &states[j], slot.current.NextStage)
+				out := src.Stage(c, &states[j], stage)
 				slot.age++
 				if out.Retry {
 					slot.current.NextStage = out.NextStage
 					slot.current.Prefetch = 0
+					tr.SlotRetry(c.Cycle(), j, stage)
 				} else {
+					tr.StageVisit(visitAt, c.Cycle(), j, stage)
 					issuePrefetch(c, out)
 					slot.current = out
 					if out.Done {
@@ -277,6 +330,7 @@ func SoftwarePipelineStream[S any](c *memsim.Core, src Source[S], inflight int) 
 					}
 					slot.busy = false
 					occupied--
+					tr.SlotEnd(c.Cycle(), j)
 				}
 			}
 		}

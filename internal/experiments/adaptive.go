@@ -5,6 +5,7 @@ import (
 	"amac/internal/arena"
 	"amac/internal/exec"
 	"amac/internal/memsim"
+	"amac/internal/obs"
 	"amac/internal/ops"
 	"amac/internal/profile"
 	"amac/internal/relation"
@@ -428,14 +429,22 @@ func adaptServeTable(cfg Config, machine memsim.Config) *profile.Table {
 			cells = append(cells, cell{load, tech.String()})
 			tasks = append(tasks, func(e *sweepEnv) serve.Result {
 				sj := e.wl.servingJoin(spec, workers, runs)
-				return runServe(serveCfg, sj, runIdx, machine, workers, tech, load, capacity, policy, nil)
+				return runServe(serveCfg, sj, runIdx, machine, workers, tech, load, capacity, policy, nil, nil, nil)
 			})
 		}
 		load, runIdx := load, 1+len(cells)
 		cells = append(cells, cell{load, adaptiveCol})
 		tasks = append(tasks, func(e *sweepEnv) serve.Result {
 			sj := e.wl.servingJoin(spec, workers, runs)
-			return runServe(serveCfg, sj, runIdx, machine, workers, ops.AMAC, load, capacity, policy, &acfg)
+			// The adaptive cell at 90% load is adaptN's designated trace
+			// cell: probe epochs, technique switches and width moves all
+			// land on one deterministic export.
+			var tr *obs.Trace
+			var met *obs.Metrics
+			if load == 0.9 {
+				tr, met = cfg.Trace, cfg.Metrics
+			}
+			return runServe(serveCfg, sj, runIdx, machine, workers, ops.AMAC, load, capacity, policy, &acfg, tr, met)
 		})
 	}
 	for i, res := range runSweep(cfg, tasks) {

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sort"
 
+	"amac/internal/obs"
 	"amac/internal/profile"
 )
 
@@ -79,6 +80,17 @@ type Config struct {
 	// PipeCap overrides the pipeline experiment's inter-stage pipe capacity
 	// in rows (the backpressure bound); zero keeps the pipeline default.
 	PipeCap int
+	// Trace, if non-nil, records a simulated-time event trace of exactly one
+	// designated cell per experiment — serveN's AMAC cell at 90% load,
+	// adaptN's adaptive serving cell at 90% load, pipeN's planner-assigned
+	// mixed plan, obsN's replay — so the exported trace is deterministic
+	// regardless of -parallel. Purely observational: every table is
+	// byte-identical with or without it.
+	Trace *obs.Trace
+	// Metrics, if non-nil, samples gauge time series from the same
+	// designated cell (obsN and the serving experiments). Purely
+	// observational, like Trace.
+	Metrics *obs.Metrics
 }
 
 func (c Config) scale() Scale {

@@ -9,6 +9,7 @@ import (
 	"amac/internal/bst"
 	"amac/internal/ht"
 	"amac/internal/memsim"
+	"amac/internal/obs"
 	"amac/internal/ops"
 	"amac/internal/pipeline"
 	"amac/internal/profile"
@@ -147,6 +148,10 @@ type pipePlan struct {
 	choice   func(e *sweepEnv) pipeline.PlanChoice
 	run      func(e *sweepEnv, cfgs []pipeline.StageConfig) pipeCell
 	adaptive func(e *sweepEnv) pipeCell
+	// traced re-runs the plan with a trace sink attached (stage slot
+	// lifecycle, pipe depth counters, backpressure instants); nil for plans
+	// whose cells rebuild non-reusable state.
+	traced func(e *sweepEnv, cfgs []pipeline.StageConfig, tr *obs.CoreTrace) pipeCell
 	// serving runs the plan under open-loop arrivals and returns the merged
 	// end-to-end latency recorder (nil for plans without a serving variant).
 	serving func(e *sweepEnv, arrivals []uint64, qcap int, policy serve.Policy, cfgs []pipeline.StageConfig) *serve.Recorder
@@ -304,15 +309,22 @@ func pipePlans(machine memsim.Config, ps pipeSizes, seed uint64, acfg adapt.Conf
 		return ctls
 	}
 
-	// runCached runs one measured cell of a read-only cached workload.
-	runCached := func(wl func(e *sweepEnv) *pipeWorkload) func(e *sweepEnv, cfgs []pipeline.StageConfig) pipeCell {
-		return func(e *sweepEnv, cfgs []pipeline.StageConfig) pipeCell {
+	// runCachedTraced runs one measured cell of a read-only cached workload,
+	// with an optional trace sink on the assembled pipeline.
+	runCachedTraced := func(wl func(e *sweepEnv) *pipeWorkload) func(e *sweepEnv, cfgs []pipeline.StageConfig, tr *obs.CoreTrace) pipeCell {
+		return func(e *sweepEnv, cfgs []pipeline.StageConfig, tr *obs.CoreTrace) pipeCell {
 			w := wl(e)
 			w.out.Reset()
 			c := pipeCore(machine)
-			w.b.Build(w.out).Run(c, cfgs)
+			p := w.b.Build(w.out)
+			p.SetTrace(tr)
+			p.Run(c, cfgs)
 			return pipeCell{cycles: c.Cycle(), rows: w.rows}
 		}
+	}
+	runCached := func(wl func(e *sweepEnv) *pipeWorkload) func(e *sweepEnv, cfgs []pipeline.StageConfig) pipeCell {
+		rt := runCachedTraced(wl)
+		return func(e *sweepEnv, cfgs []pipeline.StageConfig) pipeCell { return rt(e, cfgs, nil) }
 	}
 	adaptCached := func(wl func(e *sweepEnv) *pipeWorkload, stages int) func(e *sweepEnv) pipeCell {
 		return func(e *sweepEnv) pipeCell {
@@ -363,6 +375,7 @@ func pipePlans(machine memsim.Config, ps pipeSizes, seed uint64, acfg adapt.Conf
 			run:      runCached(bstWL),
 			adaptive: adaptCached(bstWL, 2),
 			serving:  serveCached(bstWL),
+			traced:   runCachedTraced(bstWL),
 		},
 		{
 			name:     pipeChainPlan,
@@ -371,6 +384,7 @@ func pipePlans(machine memsim.Config, ps pipeSizes, seed uint64, acfg adapt.Conf
 			choice:   func(e *sweepEnv) pipeline.PlanChoice { return chainWL(e).choice },
 			run:      runCached(chainWL),
 			adaptive: adaptCached(chainWL, 3),
+			traced:   runCachedTraced(chainWL),
 		},
 	}
 }
@@ -552,6 +566,26 @@ func pipeN(cfg Config) []*profile.Table {
 	tables := []*profile.Table{main, planTab}
 	if st := pipeServeTable(cfg, machine, plans); st != nil {
 		tables = append(tables, st)
+	}
+
+	// The designated trace cell: one extra run of the mixed plan (or the last
+	// traced plan a -plans filter kept) under the planner's assignment, with
+	// the trace sink attached. Re-running after the sweep keeps every table
+	// byte-identical with or without tracing, and running it serially on
+	// defaultEnv keeps the exported trace deterministic under -parallel.
+	if cfg.Trace != nil {
+		var tp *pipePlan
+		for i := range plans {
+			if plans[i].traced == nil {
+				continue
+			}
+			if tp == nil || plans[i].mixed {
+				tp = &plans[i]
+			}
+		}
+		if tp != nil {
+			tp.traced(defaultEnv, defaultEnv.planChoice(*tp).Configs, cfg.Trace.Core("pipeline"))
+		}
 	}
 	return tables
 }

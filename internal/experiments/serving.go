@@ -5,6 +5,7 @@ import (
 
 	"amac/internal/adapt"
 	"amac/internal/memsim"
+	"amac/internal/obs"
 	"amac/internal/ops"
 	"amac/internal/profile"
 	"amac/internal/relation"
@@ -131,7 +132,15 @@ func serveN(cfg Config) []*profile.Table {
 			cells = append(cells, cell{load, tech})
 			tasks = append(tasks, func(e *sweepEnv) serve.Result {
 				sj := e.wl.servingJoin(spec, workers, runs)
-				return runServe(cfg, sj, runIdx, machine, workers, tech, load, capacity, policy, nil)
+				// The AMAC cell at 90% load is serveN's designated trace cell:
+				// the decisive row, traced exactly once so the export is
+				// deterministic under -parallel.
+				var tr *obs.Trace
+				var met *obs.Metrics
+				if tech == ops.AMAC && load == 0.9 {
+					tr, met = cfg.Trace, cfg.Metrics
+				}
+				return runServe(cfg, sj, runIdx, machine, workers, tech, load, capacity, policy, nil, tr, met)
 			})
 		}
 	}
@@ -160,9 +169,11 @@ func serveN(cfg Config) []*profile.Table {
 // uses the serving workload's pre-allocated run-indexed collectors and the
 // shared arrival-schedule cache, so repeated cells rebuild nothing. A
 // non-nil adaptive config replaces the fixed technique with per-shard
-// adaptive controllers (the adaptN serving table).
+// adaptive controllers (the adaptN serving table). tr and met, non-nil only
+// for an experiment's designated trace cell, attach the observability sinks.
 func runServe(cfg Config, sj *servingJoin, run int, machine memsim.Config, workers int,
-	tech ops.Technique, load, capacity float64, policy serve.Policy, adaptive *adapt.Config) serve.Result {
+	tech ops.Technique, load, capacity float64, policy serve.Policy, adaptive *adapt.Config,
+	tr *obs.Trace, met *obs.Metrics) serve.Result {
 	pj := sj.pj
 	totalTuples := pj.ProbeTuples()
 	outs := sj.outs[run]
@@ -190,6 +201,8 @@ func runServe(cfg Config, sj *servingJoin, run int, machine memsim.Config, worke
 		Policy:    policy,
 		Prepare:   func(w int, c *memsim.Core) { warmTable(c, pj.Parts[w]) },
 		Adaptive:  adaptive,
+		Trace:     tr,
+		Metrics:   met,
 	}, specs)
 }
 

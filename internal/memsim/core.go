@@ -63,6 +63,15 @@ type Core struct {
 	// the better proxy for the load the thread places on the socket.
 	offchipDemand int
 
+	// Cycle hook (SetCycleHook): hookFn fires once per hookStep simulated
+	// cycles from every clock-advancing path. hookNext is ^uint64(0) when no
+	// hook is installed, so the fast paths pay one always-false compare and
+	// never a call. The hook observes (metrics sampling); it must not touch
+	// the core, so installing one cannot change simulated results.
+	hookFn   func(cycle uint64)
+	hookStep uint64
+	hookNext uint64
+
 	stats Stats
 }
 
@@ -89,7 +98,39 @@ func newCore(cfg *Config, l3 *Cache, fabric *Fabric) *Core {
 	c.streams = make([]uint64, trackers)
 	c.streamAhead = uint64(ahead)
 	c.streamEnable = !cfg.DisableStreamPrefetcher
+	c.hookNext = ^uint64(0)
 	return c
+}
+
+// SetCycleHook installs fn to fire once per step simulated cycles (at cycles
+// step, 2*step, ...), from whichever clock-advancing path first crosses each
+// boundary; fn receives the boundary cycle. The observability layer installs
+// metric samplers here. A nil fn or zero step removes the hook. The hook
+// must only observe the core — it runs mid-charge and any mutation would
+// corrupt the simulation.
+func (c *Core) SetCycleHook(step uint64, fn func(cycle uint64)) {
+	if fn == nil || step == 0 {
+		c.hookFn = nil
+		c.hookStep = 0
+		c.hookNext = ^uint64(0)
+		return
+	}
+	c.hookFn = fn
+	c.hookStep = step
+	c.hookNext = c.cycle + step
+}
+
+// fireHook runs the cycle hook for every step boundary the clock has
+// crossed. Kept out of line so the advancing fast paths stay small.
+func (c *Core) fireHook() {
+	if c.hookFn == nil {
+		c.hookNext = ^uint64(0)
+		return
+	}
+	for c.cycle >= c.hookNext {
+		c.hookFn(c.hookNext)
+		c.hookNext += c.hookStep
+	}
 }
 
 // streamCheck feeds the hardware streaming prefetcher with a demand-accessed
@@ -222,6 +263,10 @@ func (c *Core) ResetStats() {
 	c.cycle = 0
 	c.instrAcc = 0
 	c.mshr.Reset()
+	if c.hookFn != nil {
+		// The clock restarted; re-arm the hook at its first boundary.
+		c.hookNext = c.hookStep
+	}
 }
 
 // Reset restores the core to a cold state — caches, TLB, MSHRs, stream
@@ -244,6 +289,9 @@ func (c *Core) Reset() {
 	c.stats = Stats{}
 	c.cycle = 0
 	c.instrAcc = 0
+	c.hookFn = nil
+	c.hookStep = 0
+	c.hookNext = ^uint64(0)
 }
 
 // L1 returns the private first-level data cache (exposed for tests).
@@ -288,12 +336,18 @@ func (c *Core) Instr(n int) {
 	}
 	c.instrAcc -= adv * c.cpiDen
 	c.cycle += adv
+	if c.cycle >= c.hookNext {
+		c.fireHook()
+	}
 }
 
 // advance moves the clock forward by stall cycles (memory time).
 func (c *Core) advance(cycles uint64) {
 	c.cycle += cycles
 	c.stats.StallCycles += cycles
+	if c.cycle >= c.hookNext {
+		c.fireHook()
+	}
 }
 
 // AdvanceTo moves the clock forward to the given cycle without charging any
@@ -308,6 +362,9 @@ func (c *Core) AdvanceTo(target uint64) {
 	}
 	c.stats.IdleCycles += target - c.cycle
 	c.cycle = target
+	if c.cycle >= c.hookNext {
+		c.fireHook()
+	}
 }
 
 // fill installs a line into the private hierarchy and the shared L3.

@@ -1,0 +1,93 @@
+package memsim
+
+import "testing"
+
+// TestCycleHookFiresOnBoundaries drives the clock through all three
+// advancing paths (compute, stall, idle) and checks the hook fires once per
+// boundary, in order, with the boundary cycle.
+func TestCycleHookFiresOnBoundaries(t *testing.T) {
+	_, c := newTestCore(t)
+	var fired []uint64
+	c.SetCycleHook(10, func(cycle uint64) { fired = append(fired, cycle) })
+
+	c.Instr(25)                 // compute: crosses 10 and 20
+	c.Load(0x10000, 8)          // stall: cold miss jumps far past several boundaries
+	c.AdvanceTo(c.Cycle() + 35) // idle: three more boundaries
+
+	if len(fired) == 0 {
+		t.Fatalf("hook never fired")
+	}
+	for i, cyc := range fired {
+		if cyc%10 != 0 {
+			t.Fatalf("firing %d at cycle %d is not a step boundary", i, cyc)
+		}
+		if i > 0 && cyc != fired[i-1]+10 {
+			t.Fatalf("boundary skipped or repeated: %v", fired)
+		}
+	}
+	if last := fired[len(fired)-1]; last > c.Cycle() {
+		t.Fatalf("hook fired for future cycle %d (clock at %d)", last, c.Cycle())
+	}
+	want := c.Cycle() / 10
+	if uint64(len(fired)) != want {
+		t.Fatalf("hook fired %d times over %d cycles at step 10, want %d", len(fired), c.Cycle(), want)
+	}
+}
+
+// TestCycleHookObservationalOnly runs the same workload with and without a
+// hook installed and checks every simulated result is bit-identical — the
+// tentpole invariant at its root.
+func TestCycleHookObservationalOnly(t *testing.T) {
+	run := func(hook bool) Stats {
+		_, c := newTestCore(t)
+		if hook {
+			c.SetCycleHook(7, func(uint64) {})
+		}
+		for i := 0; i < 50; i++ {
+			c.Instr(3)
+			c.Load(Addr(0x4000+i*192), 16)
+			if i%5 == 0 {
+				c.Prefetch(Addr(0x90000 + i*64))
+			}
+		}
+		c.AdvanceTo(c.Cycle() + 100)
+		return c.Stats()
+	}
+	if plain, hooked := run(false), run(true); plain != hooked {
+		t.Fatalf("cycle hook changed simulated results:\nwithout: %+v\nwith:    %+v", plain, hooked)
+	}
+}
+
+func TestCycleHookResetStatsRearms(t *testing.T) {
+	_, c := newTestCore(t)
+	var fired []uint64
+	c.SetCycleHook(10, func(cycle uint64) { fired = append(fired, cycle) })
+	c.Instr(25)
+	c.ResetStats()
+	fired = nil
+	c.Instr(15)
+	if len(fired) != 1 || fired[0] != 10 {
+		t.Fatalf("after ResetStats the hook should fire at the first boundary again, got %v", fired)
+	}
+}
+
+func TestCycleHookClearedByReset(t *testing.T) {
+	_, c := newTestCore(t)
+	fired := 0
+	c.SetCycleHook(10, func(uint64) { fired++ })
+	c.Reset()
+	c.Instr(100)
+	if fired != 0 {
+		t.Fatalf("hook survived Reset and fired %d times", fired)
+	}
+	if c.hookNext != ^uint64(0) {
+		t.Fatalf("Reset left hookNext armed at %d", c.hookNext)
+	}
+	// Removal via SetCycleHook(0, nil) too.
+	c.SetCycleHook(10, func(uint64) { fired++ })
+	c.SetCycleHook(0, nil)
+	c.Instr(100)
+	if fired != 0 {
+		t.Fatalf("removed hook fired %d times", fired)
+	}
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Thread-track ids inside each core's process. Slots start at tidSlotBase so
+// the fixed tracks sort first in Perfetto.
+const (
+	tidController = 0
+	tidQueue      = 1
+	tidEngine     = 2
+	tidSlotBase   = 3
+)
+
+// chromeEvent is one record of the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Ts and Dur are microseconds; the export renders one simulated cycle as one
+// microsecond, so Perfetto's time axis reads directly in cycles (µs) and
+// kilocycles (ms).
+type chromeEvent struct {
+	Name string         `json:"name,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome exports every registered core's ring as Chrome trace-event
+// JSON, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Each
+// core becomes one process; inside it, tid 0 is the controller track
+// (decisions), tid 1 the queue track (admit/drop/block instants), tid 2 the
+// engine track (GP/SPP group spans, backpressure), and tid 3+i slot i's
+// lifecycle track (B/E occupancy spans with stage-visit X spans nested
+// inside). Width, MSHR occupancy, queue depth and pipe depths export as
+// counter tracks. Rings overwrite oldest-first, so a saturated trace is the
+// tail of the run; orphaned end events from overwritten begins are elided.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	enc := newChromeEncoder(bw)
+	for _, c := range t.Cores() {
+		if err := c.writeChrome(enc); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// chromeEncoder streams events with separating commas, so the export never
+// materializes the whole trace in memory.
+type chromeEncoder struct {
+	w     *bufio.Writer
+	first bool
+}
+
+func newChromeEncoder(w *bufio.Writer) *chromeEncoder {
+	return &chromeEncoder{w: w, first: true}
+}
+
+func (e *chromeEncoder) emit(ev chromeEvent) error {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	if !e.first {
+		if _, err := e.w.WriteString(",\n"); err != nil {
+			return err
+		}
+	}
+	e.first = false
+	_, err = e.w.Write(b)
+	return err
+}
+
+func (c *CoreTrace) writeChrome(enc *chromeEncoder) error {
+	meta := func(kind, name string, tid int) error {
+		return enc.emit(chromeEvent{
+			Name: kind, Ph: "M", Pid: c.pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	if err := meta("process_name", c.name, 0); err != nil {
+		return err
+	}
+	if err := meta("thread_name", "controller", tidController); err != nil {
+		return err
+	}
+	if err := meta("thread_name", "queue", tidQueue); err != nil {
+		return err
+	}
+	if err := meta("thread_name", "engine", tidEngine); err != nil {
+		return err
+	}
+	// Name each slot track that actually recorded events, and guard B/E
+	// balance per track (a ring wrap can orphan end events).
+	slots := map[int32]bool{}
+	depth := map[int]int{}
+	for _, ev := range c.Events() {
+		switch ev.Kind {
+		case KindSlotStart, KindSlotEnd, KindStage, KindRetry, KindPrefetch:
+			if !slots[ev.Track] {
+				slots[ev.Track] = true
+				if err := meta("thread_name", fmt.Sprintf("slot %d", ev.Track), tidSlotBase+int(ev.Track)); err != nil {
+					return err
+				}
+			}
+		}
+		out, ok := c.chromeEvent(ev)
+		if !ok {
+			continue
+		}
+		for _, o := range out {
+			switch o.Ph {
+			case "B":
+				depth[o.Tid]++
+			case "E":
+				if depth[o.Tid] == 0 {
+					continue // begin was overwritten by the ring
+				}
+				depth[o.Tid]--
+			}
+			if err := enc.emit(o); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// chromeEvent translates one ring record; counters may expand to two events.
+func (c *CoreTrace) chromeEvent(ev Event) ([]chromeEvent, bool) {
+	one := func(e chromeEvent) ([]chromeEvent, bool) { return []chromeEvent{e}, true }
+	instant := func(tid int, name string) ([]chromeEvent, bool) {
+		return one(chromeEvent{Name: name, Ph: "i", Ts: ev.Cycle, Pid: c.pid, Tid: tid, S: "t"})
+	}
+	counter := func(name string, v int64) chromeEvent {
+		return chromeEvent{Name: name, Ph: "C", Ts: ev.Cycle, Pid: c.pid, Tid: 0,
+			Args: map[string]any{name: v}}
+	}
+	slotTid := tidSlotBase + int(ev.Track)
+	switch ev.Kind {
+	case KindSlotStart:
+		return one(chromeEvent{Name: fmt.Sprintf("req %d", ev.A), Ph: "B", Ts: ev.Cycle, Pid: c.pid, Tid: slotTid})
+	case KindSlotEnd:
+		return one(chromeEvent{Ph: "E", Ts: ev.Cycle, Pid: c.pid, Tid: slotTid})
+	case KindStage:
+		dur := ev.Dur
+		if dur == 0 {
+			dur = 1
+		}
+		return one(chromeEvent{Name: fmt.Sprintf("stage %d", ev.A), Ph: "X", Ts: ev.Cycle, Dur: dur, Pid: c.pid, Tid: slotTid})
+	case KindRetry:
+		return instant(slotTid, fmt.Sprintf("retry s%d", ev.A))
+	case KindPrefetch:
+		return instant(slotTid, "prefetch")
+	case KindGroupStart:
+		return one(chromeEvent{Name: fmt.Sprintf("group %d", ev.A), Ph: "B", Ts: ev.Cycle, Pid: c.pid, Tid: tidEngine})
+	case KindGroupEnd:
+		return one(chromeEvent{Ph: "E", Ts: ev.Cycle, Pid: c.pid, Tid: tidEngine})
+	case KindEngineSample:
+		return []chromeEvent{counter("width", ev.A), counter("mshr", ev.B)}, true
+	case KindWidthChange:
+		return []chromeEvent{
+			counter("width", ev.A),
+			{Name: fmt.Sprintf("width %d", ev.A), Ph: "i", Ts: ev.Cycle, Pid: c.pid, Tid: tidController, S: "t"},
+		}, true
+	case KindDecision:
+		return one(chromeEvent{
+			Name: DecisionName(int(ev.Track)), Ph: "i", Ts: ev.Cycle, Pid: c.pid, Tid: tidController, S: "t",
+			Args: map[string]any{"a": ev.A, "b": ev.B},
+		})
+	case KindQueueAdmit:
+		return instant(tidQueue, "admit")
+	case KindQueueDrop:
+		return instant(tidQueue, "drop")
+	case KindQueueBlock:
+		return instant(tidQueue, "block")
+	case KindQueueDepth:
+		return one(counter("queue depth", ev.A))
+	case KindPipeDepth:
+		return one(counter(fmt.Sprintf("pipe%d depth", ev.Track), ev.A))
+	case KindBackpressure:
+		return instant(tidEngine, fmt.Sprintf("backpressure p%d", ev.Track))
+	}
+	return nil, false
+}

@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestDisabledObservabilityZeroAlloc is the tentpole's hard invariant: every
+// recording method on the nil (disabled) sinks must be a no-op that
+// allocates nothing.
+func TestDisabledObservabilityZeroAlloc(t *testing.T) {
+	var (
+		tr *Trace
+		ct *CoreTrace
+		m  *Metrics
+		cm *CoreMetrics
+		lw *LatencyWindow
+	)
+	allocs := testing.AllocsPerRun(100, func() {
+		ct = tr.Core("worker 0")
+		ct.SlotStart(1, 0, 7)
+		ct.SlotEnd(2, 0)
+		ct.StageVisit(1, 2, 0, 1)
+		ct.SlotRetry(3, 0, 1)
+		ct.SlotPrefetch(3, 0)
+		ct.GroupStart(4, 10)
+		ct.GroupEnd(5, 10)
+		ct.EngineSample(6, 8, 4)
+		ct.WidthChange(7, 9)
+		ct.Decision(8, DecSwitch, 1, 2)
+		ct.QueueAdmit(9, 1)
+		ct.QueueDrop(9, 2)
+		ct.QueueBlock(9, 3)
+		ct.QueueDepth(9, 3)
+		ct.PipeDepth(10, 1, 5)
+		ct.Backpressure(10, 1)
+		_ = ct.Width()
+		_ = ct.Len()
+		cm = m.Core("worker 0")
+		cm.Gauge("depth", func() float64 { return 0 })
+		cm.Tick(100)
+		_ = m.Interval()
+		lw.Record(42)
+		_ = lw.Quantile(0.99)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability path allocates: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestCoreTraceRingWrap(t *testing.T) {
+	tr := NewTrace(8) // rounds to 8
+	ct := tr.Core("c")
+	for i := 0; i < 20; i++ {
+		ct.QueueDepth(uint64(i), i)
+	}
+	if got := ct.Len(); got != 8 {
+		t.Fatalf("Len = %d, want ring capacity 8", got)
+	}
+	if got := ct.Dropped(); got != 12 {
+		t.Fatalf("Dropped = %d, want 12", got)
+	}
+	evs := ct.Events()
+	for i, ev := range evs {
+		if want := uint64(12 + i); ev.Cycle != want {
+			t.Fatalf("event %d cycle = %d, want %d (oldest-first order)", i, ev.Cycle, want)
+		}
+	}
+}
+
+func TestTraceCoreReuseAndDiscard(t *testing.T) {
+	tr := NewTrace(16)
+	a := tr.Core("worker 0")
+	b := tr.Core("worker 0")
+	if a != b {
+		t.Fatalf("Core with the same name returned distinct sinks")
+	}
+	c := tr.Core("worker 1")
+	if c == a {
+		t.Fatalf("Core with a new name returned the old sink")
+	}
+	if n := len(tr.Cores()); n != 2 {
+		t.Fatalf("Cores = %d sinks, want 2", n)
+	}
+	d := NewDiscardCore()
+	for i := 0; i < 100; i++ {
+		d.WidthChange(uint64(i), i)
+	}
+	if d.Width() != 99 {
+		t.Fatalf("discard sink Width = %d, want 99", d.Width())
+	}
+	if n := len(tr.Cores()); n != 2 {
+		t.Fatalf("discard sink leaked into the registry (%d cores)", n)
+	}
+}
+
+// chromeFile mirrors the exported JSON for the schema round-trip.
+type chromeFile struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		S    string         `json:"s"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestWriteChromeSchemaRoundTrip records one event of every kind and checks
+// the export parses as Chrome trace-event JSON with well-formed records:
+// every event has a phase, metadata names the process and tracks, begin/end
+// spans balance, and counters carry values.
+func TestWriteChromeSchemaRoundTrip(t *testing.T) {
+	tr := NewTrace(1 << 10)
+	ct := tr.Core("worker 0")
+	ct.SlotStart(10, 0, 3)
+	ct.StageVisit(10, 25, 0, 0)
+	ct.SlotPrefetch(25, 0)
+	ct.StageVisit(25, 80, 0, 1)
+	ct.SlotRetry(80, 0, 1)
+	ct.SlotEnd(90, 0)
+	ct.GroupStart(100, 10)
+	ct.GroupEnd(400, 10)
+	ct.EngineSample(500, 12, 7)
+	ct.WidthChange(600, 13)
+	ct.Decision(700, DecSwitch, 1, 3)
+	ct.QueueAdmit(710, 1)
+	ct.QueueDrop(711, 2)
+	ct.QueueBlock(712, 9)
+	ct.QueueDepth(713, 9)
+	ct.PipeDepth(720, 2, 31)
+	ct.Backpressure(730, 2)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatalf("export holds no events")
+	}
+	var (
+		procs, threads int
+		depth          = map[int]int{}
+		counters       = map[string]bool{}
+		instants       int
+	)
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				procs++
+			}
+			if ev.Name == "thread_name" {
+				threads++
+			}
+			if ev.Args["name"] == "" {
+				t.Fatalf("metadata event without a name: %+v", ev)
+			}
+		case "B":
+			depth[ev.Pid<<16|ev.Tid]++
+		case "E":
+			depth[ev.Pid<<16|ev.Tid]--
+			if depth[ev.Pid<<16|ev.Tid] < 0 {
+				t.Fatalf("end event without a begin on pid %d tid %d", ev.Pid, ev.Tid)
+			}
+		case "X":
+			if ev.Dur <= 0 {
+				t.Fatalf("complete event with non-positive dur: %+v", ev)
+			}
+		case "i":
+			if ev.S != "t" {
+				t.Fatalf("instant event without thread scope: %+v", ev)
+			}
+			instants++
+		case "C":
+			if len(ev.Args) == 0 {
+				t.Fatalf("counter event without a value: %+v", ev)
+			}
+			counters[ev.Name] = true
+		default:
+			t.Fatalf("unknown phase %q in %+v", ev.Ph, ev)
+		}
+	}
+	if procs != 1 {
+		t.Fatalf("process_name metadata = %d, want 1", procs)
+	}
+	if threads < 4 { // controller, queue, engine, slot 0
+		t.Fatalf("thread_name metadata = %d, want >= 4", threads)
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Fatalf("unbalanced span depth %d on track %d", d, tid)
+		}
+	}
+	for _, want := range []string{"width", "mshr", "queue depth", "pipe2 depth"} {
+		if !counters[want] {
+			t.Fatalf("missing counter track %q (have %v)", want, counters)
+		}
+	}
+	if instants == 0 {
+		t.Fatalf("no instant events exported")
+	}
+	if !strings.Contains(buf.String(), DecisionName(DecSwitch)) {
+		t.Fatalf("decision instant lost its name")
+	}
+}
+
+// TestWriteChromeElidesOrphanedEnds wraps the ring past a begin event and
+// checks the matching end is dropped rather than exported unbalanced.
+func TestWriteChromeElidesOrphanedEnds(t *testing.T) {
+	tr := NewTrace(2)
+	ct := tr.Core("c")
+	ct.SlotStart(1, 0, 0) // will be overwritten
+	ct.QueueDepth(2, 1)
+	ct.SlotEnd(3, 0) // ring now holds [depth, end]: the begin is gone
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "E" {
+			t.Fatalf("orphaned end event exported: %+v", ev)
+		}
+	}
+}
+
+func TestMetricsJSONL(t *testing.T) {
+	m := NewMetrics(0)
+	if m.Interval() != DefaultMetricsInterval {
+		t.Fatalf("Interval = %d, want default %d", m.Interval(), DefaultMetricsInterval)
+	}
+	cm := m.Core("worker 0")
+	if m.Core("worker 0") != cm {
+		t.Fatalf("Core with the same name returned a distinct collection")
+	}
+	depth := 0.0
+	cm.Gauge("queue_depth", func() float64 { return depth })
+	cm.Gauge("queue_depth", func() float64 { return -1 }) // duplicate renamed
+	for i := 1; i <= 3; i++ {
+		depth = float64(i)
+		cm.Tick(uint64(i) * 4096)
+	}
+	if cm.Samples() != 3 {
+		t.Fatalf("Samples = %d, want 3", cm.Samples())
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("JSONL lines = %d, want 3\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var rec struct {
+			Core   string             `json:"core"`
+			Cycle  uint64             `json:"cycle"`
+			Values map[string]float64 `json:"values"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if rec.Core != "worker 0" {
+			t.Fatalf("line %d core = %q", i, rec.Core)
+		}
+		if want := uint64(i+1) * 4096; rec.Cycle != want {
+			t.Fatalf("line %d cycle = %d, want %d", i, rec.Cycle, want)
+		}
+		if got := rec.Values["queue_depth"]; got != float64(i+1) {
+			t.Fatalf("line %d queue_depth = %v, want %d", i, got, i+1)
+		}
+		if len(rec.Values) != 2 {
+			t.Fatalf("line %d has %d values, want 2 (duplicate gauge renamed)", i, len(rec.Values))
+		}
+	}
+}
+
+func TestLatencyWindowQuantile(t *testing.T) {
+	lw := NewLatencyWindow(4)
+	if got := lw.Quantile(0.99); got != 0 {
+		t.Fatalf("empty window quantile = %d, want 0", got)
+	}
+	for _, v := range []uint64{10, 20, 30, 40} {
+		lw.Record(v)
+	}
+	if got := lw.Quantile(0); got != 10 {
+		t.Fatalf("q0 = %d, want 10", got)
+	}
+	if got := lw.Quantile(1); got != 40 {
+		t.Fatalf("q1 = %d, want 40", got)
+	}
+	// Eviction: 10 falls out of the window.
+	lw.Record(50)
+	if got := lw.Quantile(0); got != 20 {
+		t.Fatalf("q0 after eviction = %d, want 20", got)
+	}
+	if got := lw.Quantile(0.5); got < 30 || got > 40 {
+		t.Fatalf("median = %d, want 30..40", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"amac/internal/arena"
 	"amac/internal/memsim"
+	"amac/internal/obs"
 	"amac/internal/ops"
 )
 
@@ -77,6 +78,11 @@ type pipe struct {
 	// pass; zero tapCap keeps nothing.
 	tap    []ops.JoinRow
 	tapCap int
+
+	// tr receives a depth counter event on every push and pop (nil-safe
+	// no-op); idx names the pipe on the trace track.
+	tr  *obs.CoreTrace
+	idx int
 }
 
 // newPipe creates a pipe whose charged window lives at base.
@@ -118,6 +124,7 @@ func (p *pipe) Emit(c *memsim.Core, rid int, key, buildPayload, probePayload uin
 		p.tap = append(p.tap, r.JoinRow)
 	}
 	p.rows = append(p.rows, r)
+	p.tr.PipeDepth(c.Cycle(), p.idx, p.depth())
 }
 
 // pop removes and returns the head row, charging its load.
@@ -133,5 +140,6 @@ func (p *pipe) pop(c *memsim.Core) Row {
 		p.rows = p.rows[:0]
 		p.head = 0
 	}
+	p.tr.PipeDepth(c.Cycle(), p.idx, p.depth())
 	return r
 }

@@ -33,6 +33,7 @@ import (
 	"amac/internal/exec"
 	"amac/internal/ht"
 	"amac/internal/memsim"
+	"amac/internal/obs"
 	"amac/internal/ops"
 	"amac/internal/serve"
 )
@@ -293,6 +294,7 @@ func (b *Builder) build(spec buildSpec) *Pipeline {
 	p.pipes = make([]*pipe, n-1)
 	for i := range p.pipes {
 		p.pipes[i] = newPipe(b.a, b.windows[i], b.pipeCap)
+		p.pipes[i].idx = i
 		p.pipes[i].tapCap = spec.tapCap
 		if spec.serving != nil {
 			arr := spec.serving.Arrivals
@@ -404,7 +406,26 @@ type Pipeline struct {
 	// depth k, so each stage's tuner observes only its own engine's work.
 	nested []uint64
 
+	// tr receives stage engine events, pipe depth counters and backpressure
+	// instants (SetTrace); nil methods no-op. Purely observational.
+	tr *obs.CoreTrace
+
 	used bool
+}
+
+// SetTrace attaches a per-core trace sink to the pipeline: every stage
+// engine's slot lifecycle, each pipe's depth counter, and a backpressure
+// instant whenever a pump lease ends on a full outbound pipe. Purely
+// observational — simulated results are bit-identical with or without it.
+// Call before Run/RunAdaptive.
+func (p *Pipeline) SetTrace(tr *obs.CoreTrace) {
+	p.tr = tr
+	for _, st := range p.stages {
+		st.tr = tr
+	}
+	for _, pp := range p.pipes {
+		pp.tr = tr
+	}
 }
 
 // StageReport is one stage's outcome.
@@ -456,6 +477,11 @@ func (p *Pipeline) pump(c *memsim.Core, idx int) (waitUntil uint64) {
 			st.out.done = true
 		}
 		return 0
+	}
+	if st.out != nil && st.out.full() {
+		// The lease ended on a full outbound pipe: downstream backpressure
+		// closed the gate.
+		p.tr.Backpressure(c.Cycle(), idx)
 	}
 	return res.waitUntil
 }
@@ -538,6 +564,9 @@ func (p *Pipeline) RunAdaptive(c *memsim.Core, ctls []*adapt.Controller) Result 
 		depth := p.rootDepth
 		if st.in != nil {
 			depth = st.in.depth
+		}
+		if p.tr != nil {
+			ctls[i].SetTrace(p.tr)
 		}
 		st.tuner = adapt.NewStreamTuner(ctls[i], depth)
 	}

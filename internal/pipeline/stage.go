@@ -5,6 +5,7 @@ import (
 	"amac/internal/core"
 	"amac/internal/exec"
 	"amac/internal/memsim"
+	"amac/internal/obs"
 	"amac/internal/ops"
 )
 
@@ -107,12 +108,16 @@ type stageExec struct {
 	// tuner is set (one per stage) in adaptive runs.
 	tuner *adapt.StreamTuner
 
+	// tr is the pipeline's trace sink (SetTrace); nil methods no-op.
+	tr *obs.CoreTrace
+
 	done  bool
 	sched core.RunStats
 }
 
-// makeRunner builds the engine-dispatch closure over a stage's source.
-func makeRunner[S any](src exec.Source[S]) stageRunner {
+// makeRunner builds the engine-dispatch closure over a stage's source. The
+// stage's trace sink is read at lease time, so SetTrace works after Build.
+func makeRunner[S any](st *stageExec, src exec.Source[S]) stageRunner {
 	return func(c *memsim.Core, cfg StageConfig, quota int, gate func() bool, noWait bool, opts *core.Options) leaseOutcome {
 		drive := src
 		var lease *exec.LeaseSource[S]
@@ -124,6 +129,9 @@ func makeRunner[S any](src exec.Source[S]) stageRunner {
 		if opts != nil {
 			amacOpts = *opts
 		}
+		if amacOpts.Trace == nil {
+			amacOpts.Trace = st.tr
+		}
 		window := cfg.Window
 		if window <= 0 {
 			window = ops.DefaultWindow
@@ -131,11 +139,11 @@ func makeRunner[S any](src exec.Source[S]) stageRunner {
 		var sched core.RunStats
 		switch cfg.Tech {
 		case ops.Baseline:
-			exec.BaselineStream(c, drive)
+			exec.BaselineStreamTraced(c, drive, st.tr)
 		case ops.GP:
-			exec.GroupPrefetchStream(c, drive, window)
+			exec.GroupPrefetchStreamTraced(c, drive, window, st.tr)
 		case ops.SPP:
-			exec.SoftwarePipelineStream(c, drive, window)
+			exec.SoftwarePipelineStreamTraced(c, drive, window, st.tr)
 		case ops.AMAC:
 			sched = core.RunStream(c, drive, amacOpts)
 		default:
@@ -166,7 +174,7 @@ func wirePipeStage[S any](p *Pipeline, st *stageExec, idx int,
 		initRow: initRow, stage: stage, provision: provision,
 		onDone: onDone,
 	}
-	st.run = makeRunner[S](src)
+	st.run = makeRunner[S](st, src)
 	st.sample = func(c *memsim.Core, ctl *adapt.Controller, rows []ops.JoinRow) {
 		if len(rows) == 0 {
 			return
@@ -191,7 +199,7 @@ func wirePipeStage[S any](p *Pipeline, st *stageExec, idx int,
 // planner twin of the root machine (emitting into scratch) sampled over its
 // first sampleN lookups.
 func wireRootStage[S any](st *stageExec, src exec.Source[S], sampleM exec.Machine[S], sampleN int) {
-	st.run = makeRunner[S](src)
+	st.run = makeRunner[S](st, src)
 	st.sample = func(c *memsim.Core, ctl *adapt.Controller, _ []ops.JoinRow) {
 		if sampleM == nil {
 			return

@@ -7,6 +7,7 @@ import (
 	"amac/internal/core"
 	"amac/internal/exec"
 	"amac/internal/memsim"
+	"amac/internal/obs"
 	"amac/internal/ops"
 )
 
@@ -14,19 +15,25 @@ import (
 // streaming counterpart of ops.RunMachine. AMAC returns its scheduler
 // stats; the other engines report everything through the source's recorder.
 func RunSource[S any](c *memsim.Core, src exec.Source[S], tech ops.Technique, p ops.Params) core.RunStats {
+	return RunSourceTraced(c, src, tech, p, nil)
+}
+
+// RunSourceTraced is RunSource with a per-core trace sink attached to the
+// engine (nil behaves exactly like RunSource).
+func RunSourceTraced[S any](c *memsim.Core, src exec.Source[S], tech ops.Technique, p ops.Params, tr *obs.CoreTrace) core.RunStats {
 	window := p.Window
 	if window <= 0 {
 		window = ops.DefaultWindow
 	}
 	switch tech {
 	case ops.Baseline:
-		exec.BaselineStream(c, src)
+		exec.BaselineStreamTraced(c, src, tr)
 	case ops.GP:
-		exec.GroupPrefetchStream(c, src, window)
+		exec.GroupPrefetchStreamTraced(c, src, window, tr)
 	case ops.SPP:
-		exec.SoftwarePipelineStream(c, src, window)
+		exec.SoftwarePipelineStreamTraced(c, src, window, tr)
 	case ops.AMAC:
-		return core.RunStream(c, src, core.Options{Width: window})
+		return core.RunStream(c, src, core.Options{Width: window, Trace: tr})
 	default:
 		panic(fmt.Sprintf("serve: unknown technique %d", int(tech)))
 	}
@@ -65,6 +72,16 @@ type Options struct {
 	// retunes when its observed per-request cost drifts or its queue depth
 	// jumps — so a load shift on one shard retunes that shard alone.
 	Adaptive *adapt.Config
+	// Trace, if non-nil, records every worker's slot lifecycle, queue events
+	// and controller decisions into a per-core ring ("worker N" tracks,
+	// registered in worker order so output is deterministic). Purely
+	// observational: simulated results are bit-identical with or without it.
+	Trace *obs.Trace
+	// Metrics, if non-nil, samples per-worker gauges (queue depth, MSHR
+	// occupancy, AMAC width, sliding-window p99, stall fraction) every
+	// Metrics.Interval() simulated cycles via the core's cycle hook. Purely
+	// observational, like Trace.
+	Metrics *obs.Metrics
 }
 
 // WorkerResult is one worker's outcome.
@@ -121,6 +138,7 @@ func Run[S any](opts Options, workers []Worker[S]) Result {
 	pooled := make([]*memsim.PooledSystem, n)
 	cores := make([]*memsim.Core, n)
 	sources := make([]*QueueSource[S], n)
+	trs := make([]*obs.CoreTrace, n)
 	shared := opts.Hardware.ShareLLC(n)
 	for w := 0; w < n; w++ {
 		pooled[w] = memsim.AcquireSystem(shared)
@@ -131,6 +149,37 @@ func Run[S any](opts Options, workers []Worker[S]) Result {
 		}
 		cores[w].ResetStats()
 		sources[w] = NewQueueSource(workers[w].Machine, workers[w].Arrivals, opts.QueueCap, opts.Policy, nil)
+		// Tracks register here, in worker order on one goroutine, so the
+		// exported trace's process layout is deterministic regardless of the
+		// goroutine schedule. Metrics without tracing still needs a CoreTrace
+		// as the width-gauge holder; an unregistered discard core serves.
+		trs[w] = opts.Trace.Core(fmt.Sprintf("worker %d", w))
+		if trs[w] == nil && opts.Metrics != nil {
+			trs[w] = obs.NewDiscardCore()
+		}
+		sources[w].SetTrace(trs[w])
+		if opts.Metrics != nil {
+			cm := opts.Metrics.Core(fmt.Sprintf("worker %d", w))
+			src, c, tr := sources[w], cores[w], trs[w]
+			lw := obs.NewLatencyWindow(0)
+			src.SetLatencyWindow(lw)
+			cm.Gauge("queue_depth", func() float64 { return float64(src.Depth()) })
+			cm.Gauge("mshr_outstanding", func() float64 { return float64(c.MSHROutstanding()) })
+			cm.Gauge("width", func() float64 { return float64(tr.Width()) })
+			cm.Gauge("p99_window", func() float64 { return float64(lw.Quantile(0.99)) })
+			var prev memsim.Stats
+			cm.Gauge("stall_fraction", func() float64 {
+				s := c.Stats()
+				busy := (s.Cycles - prev.Cycles) - (s.IdleCycles - prev.IdleCycles)
+				stall := s.StallCycles - prev.StallCycles
+				prev = s
+				if busy == 0 {
+					return 0
+				}
+				return float64(stall) / float64(busy)
+			})
+			c.SetCycleHook(opts.Metrics.Interval(), cm.Tick)
+		}
 	}
 
 	sched := make([]core.RunStats, n)
@@ -139,6 +188,7 @@ func Run[S any](opts Options, workers []Worker[S]) Result {
 		ctls = make([]*adapt.Controller, n)
 		for w := range ctls {
 			ctls[w] = adapt.NewController(*opts.Adaptive)
+			ctls[w].SetTrace(trs[w])
 		}
 	}
 	ps := exec.RunParallel(cores, func(w int, c *memsim.Core) {
@@ -146,7 +196,7 @@ func Run[S any](opts Options, workers []Worker[S]) Result {
 			sched[w] = adapt.RunStream(c, sources[w], ctls[w], sources[w].Depth)
 			return
 		}
-		sched[w] = RunSource(c, sources[w], opts.Technique, ops.Params{Window: opts.Window})
+		sched[w] = RunSourceTraced(c, sources[w], opts.Technique, ops.Params{Window: opts.Window}, trs[w])
 	})
 
 	res := Result{Stats: ps.Merged, Sched: core.MergeRunStats(sched)}
@@ -167,6 +217,7 @@ func Run[S any](opts Options, workers []Worker[S]) Result {
 		res.PerWorker = append(res.PerWorker, wr)
 		res.Latency.Merge(sources[w].Recorder())
 		sources[w].Close()
+		cores[w].SetCycleHook(0, nil) // pooled core: never leak a hook past the run
 		pooled[w].Release()
 	}
 	return res

@@ -5,6 +5,7 @@ import (
 
 	"amac/internal/exec"
 	"amac/internal/memsim"
+	"amac/internal/obs"
 )
 
 // Policy says what a bounded admission queue does with a request that
@@ -80,6 +81,12 @@ type QueueSource[S any] struct {
 
 	next int // next schedule index not yet admitted or dropped
 
+	// tr receives queue lifecycle events (admit, drop, block, depth); lat
+	// records completion latencies for the sliding-window p99 gauge. Both
+	// are nil-safe no-ops and purely observational.
+	tr  *obs.CoreTrace
+	lat *obs.LatencyWindow
+
 	// Admitted request indices live in ring[head&mask .. tail&mask); head
 	// and tail increase monotonically, so tail-head is the queue depth.
 	ringP      *[]int32
@@ -131,6 +138,15 @@ func (q *QueueSource[S]) Close() {
 // Recorder returns the recorder accumulating this source's statistics.
 func (q *QueueSource[S]) Recorder() *Recorder { return q.rec }
 
+// SetTrace attaches a per-core trace sink: the queue emits admit, drop and
+// block instants and a depth counter on its track. Purely observational.
+func (q *QueueSource[S]) SetTrace(tr *obs.CoreTrace) { q.tr = tr }
+
+// SetLatencyWindow attaches a sliding window that records every completion's
+// admission-to-done latency — the backing store of a live p99 gauge. Purely
+// observational.
+func (q *QueueSource[S]) SetLatencyWindow(lw *obs.LatencyWindow) { q.lat = lw }
+
 // depth returns the number of admitted, not-yet-pulled requests.
 func (q *QueueSource[S]) depth() int { return q.tail - q.head }
 
@@ -161,10 +177,12 @@ func (q *QueueSource[S]) admit(c *memsim.Core, now uint64) {
 			if q.policy == Drop {
 				q.rec.Offered++
 				q.rec.recordDrop()
+				q.tr.QueueDrop(q.arrivals[q.next], q.next)
 				q.next++
 				continue
 			}
 			// Block: the request waits outside the queue; stop admitting.
+			q.tr.QueueBlock(now, q.depth())
 			return
 		}
 		if q.depth() == len(q.ring) {
@@ -172,6 +190,7 @@ func (q *QueueSource[S]) admit(c *memsim.Core, now uint64) {
 		}
 		c.Instr(costAdmit)
 		q.rec.Offered++
+		q.tr.QueueAdmit(q.arrivals[q.next], q.next)
 		q.ring[q.tail&q.mask] = int32(q.next)
 		q.tail++
 		q.next++
@@ -186,6 +205,7 @@ func (q *QueueSource[S]) ProvisionedStages() int { return q.m.ProvisionedStages(
 func (q *QueueSource[S]) Pull(c *memsim.Core, s *S, now uint64) exec.PullResult {
 	q.admit(c, now)
 	q.rec.sampleDepth(q.depth())
+	q.tr.QueueDepth(now, q.depth())
 	if q.depth() > 0 {
 		idx := int(q.ring[q.head&q.mask])
 		q.head++
@@ -209,4 +229,5 @@ func (q *QueueSource[S]) Stage(c *memsim.Core, s *S, stage int) exec.Outcome {
 // Complete implements exec.Source: record admission→completion latency.
 func (q *QueueSource[S]) Complete(req exec.Request, done uint64) {
 	q.rec.RecordLatency(done - req.Admit)
+	q.lat.Record(done - req.Admit)
 }
