@@ -16,6 +16,9 @@
 //	amacbench -exp adaptN               # adaptive execution vs every static config
 //	amacbench -exp pipeN                # streaming multi-operator pipelines + mini-planner
 //	amacbench -exp pipeN -plans mixed -burst 32  # one plan, smaller pump leases
+//	amacbench -exp faultN               # fault injection: graceful-degradation ladder
+//	amacbench -exp faultN -faults "slow:0@20000+40000x4,crash:1@90000+30000"
+//	amacbench -exp faultN -slo 8000 -deadline 6000  # SLO brownout row, fixed deadline
 //	amacbench -exp serveN -json         # machine-readable results, one JSON object per row
 //	amacbench -exp adaptN -trace t.json # export a Perfetto-loadable event trace
 //	amacbench -exp obsN -metrics m.jsonl -metrics-interval 2048  # gauge time series
@@ -41,6 +44,7 @@ import (
 	"time"
 
 	"amac/internal/experiments"
+	"amac/internal/fault"
 	"amac/internal/obs"
 	"amac/internal/profile"
 	"amac/internal/serve"
@@ -60,6 +64,9 @@ func main() {
 		plans     = flag.String("plans", "", "pipeline plan filter: comma-separated case-insensitive substrings of pipeN plan names (empty = every plan)")
 		burst     = flag.Int("burst", 0, "pipeline pump lease size: admissions per upstream lease (0 = pipeline default)")
 		pipeCap   = flag.Int("pipecap", 0, "pipeline inter-stage pipe capacity in rows, the backpressure bound (0 = pipeline default)")
+		faults    = flag.String("faults", "", "faultN chaos schedule: comma-separated \"kind:shard@start+dur[xfactor]\" episodes or \"rand:SEED[:N]\" (empty = default scenario)")
+		deadline  = flag.Int("deadline", 0, "faultN per-request deadline in cycles (0 = derive 2x the clean-run p99)")
+		slo       = flag.Int("slo", 0, "faultN p99 SLO budget in cycles; enables the brownout row (0 = omit it)")
 		jsonOut   = flag.Bool("json", false, "emit results as JSON Lines (one object per table row) instead of text tables")
 		tracePath = flag.String("trace", "", "write a Chrome/Perfetto trace of the experiment's designated cell to this file")
 		metPath   = flag.String("metrics", "", "write the designated cell's gauge time series to this file as JSON Lines")
@@ -110,6 +117,10 @@ func main() {
 		return
 	}
 
+	if err := validateExplicitZero(flag.Visit); err != nil {
+		fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
+		os.Exit(2)
+	}
 	if *window < 0 {
 		fmt.Fprintf(os.Stderr, "amacbench: -window must be non-negative, got %d\n", *window)
 		os.Exit(2)
@@ -154,6 +165,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
 		os.Exit(2)
 	}
+	if err := validateFaultFlags(*exp, *bench, *faults, *slo, *deadline); err != nil {
+		fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
+		os.Exit(2)
+	}
 	sc, err := experiments.ParseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -163,6 +178,7 @@ func main() {
 		Scale: sc, Seed: *seed, Window: *window, Workers: *workers,
 		Arrivals: *arrivals, QueueCap: *qcap, Parallel: *parallel,
 		Plans: *plans, Burst: *burst, PipeCap: *pipeCap,
+		Faults: *faults, Deadline: *deadline, SLOBudget: *slo,
 	}
 	if *tracePath != "" {
 		cfg.Trace = obs.NewTrace(0)
@@ -272,12 +288,37 @@ func writeMetrics(path string, m *obs.Metrics) error {
 	return nil
 }
 
+// validateExplicitZero rejects knobs explicitly set to zero on the command
+// line. Zero means "use the default" for these flags, so an explicit zero is
+// always a mistake the run would otherwise silently ignore; flag.Visit sees
+// only flags actually set, which is what distinguishes `-qcap 0` from no
+// -qcap at all.
+func validateExplicitZero(visit func(func(*flag.Flag))) error {
+	var bad string
+	visit(func(f *flag.Flag) {
+		if bad != "" {
+			return
+		}
+		switch f.Name {
+		case "deadline", "qcap", "pipecap", "metrics-interval", "slo":
+			if f.Value.String() == "0" {
+				bad = f.Name
+			}
+		}
+	})
+	if bad != "" {
+		return fmt.Errorf("-%s 0 is meaningless (zero selects the default; drop the flag instead)", bad)
+	}
+	return nil
+}
+
 // servingExperiments are the experiment ids whose runs consume the serving
 // flags: -arrivals selects their traffic shape and -qcap their queue bound.
 // Every other experiment ignores both.
 var servingExperiments = map[string]bool{
 	"serveN": true,
 	"adaptN": true,
+	"faultN": true,
 }
 
 // validateServingFlags rejects -arrivals/-qcap combinations that would
@@ -300,7 +341,7 @@ func validateServingFlags(exp string, bench bool, arrivals string, qcap int) err
 	if exp == "all" || servingExperiments[exp] {
 		return nil
 	}
-	return fmt.Errorf("%s only affects the serving experiments (serveN, adaptN), not %q; drop the flag or pick a serving experiment", set, exp)
+	return fmt.Errorf("%s only affects the serving experiments (serveN, adaptN, faultN), not %q; drop the flag or pick a serving experiment", set, exp)
 }
 
 // pipelineExperiments are the experiment ids whose runs consume the pipeline
@@ -345,6 +386,7 @@ var traceExperiments = map[string]bool{
 	"adaptN": true,
 	"pipeN":  true,
 	"obsN":   true,
+	"faultN": true,
 }
 
 // metricsExperiments are the experiment ids whose designated cell samples the
@@ -354,6 +396,7 @@ var metricsExperiments = map[string]bool{
 	"serveN": true,
 	"adaptN": true,
 	"obsN":   true,
+	"faultN": true,
 }
 
 // validateObsFlags rejects -trace/-metrics/-metrics-interval combinations
@@ -386,12 +429,57 @@ func validateObsFlags(exp string, bench bool, trace, metrics string, interval in
 		return fmt.Errorf("%s needs a single experiment, not -exp all (each file holds one experiment's designated cell)", s)
 	}
 	if trace != "" && !traceExperiments[exp] {
-		return fmt.Errorf("-trace only records the serving, pipeline and observability experiments (serveN, adaptN, pipeN, obsN), not %q", exp)
+		return fmt.Errorf("-trace only records the serving, pipeline and observability experiments (serveN, adaptN, pipeN, obsN, faultN), not %q", exp)
 	}
 	if metrics != "" && !metricsExperiments[exp] {
-		return fmt.Errorf("-metrics only samples the serving and observability experiments (serveN, adaptN, obsN), not %q", exp)
+		return fmt.Errorf("-metrics only samples the serving and observability experiments (serveN, adaptN, obsN, faultN), not %q", exp)
 	}
 	return nil
+}
+
+// faultExperiments are the experiment ids whose runs consume the fault
+// flags: -faults scripts their chaos schedule, -deadline and -slo override
+// the derived cycle budgets. Every other experiment ignores all three.
+var faultExperiments = map[string]bool{
+	"faultN": true,
+}
+
+// validateFaultFlags rejects -faults/-deadline/-slo combinations that would
+// silently no-op, mirroring the other flag guards, and parses the -faults
+// spec up front so a malformed schedule fails before any workload is built.
+func validateFaultFlags(exp string, bench bool, faults string, slo, deadline int) error {
+	if deadline < 0 {
+		return fmt.Errorf("-deadline must be non-negative, got %d", deadline)
+	}
+	if slo < 0 {
+		return fmt.Errorf("-slo must be non-negative, got %d", slo)
+	}
+	if faults != "" {
+		if _, err := fault.ParseSpec(faults); err != nil {
+			return fmt.Errorf("-faults: %v", err)
+		}
+	}
+	if faults == "" && slo == 0 && deadline == 0 {
+		return nil
+	}
+	var set []string
+	if faults != "" {
+		set = append(set, "-faults")
+	}
+	if deadline != 0 {
+		set = append(set, "-deadline")
+	}
+	if slo != 0 {
+		set = append(set, "-slo")
+	}
+	s := strings.Join(set, "/")
+	if bench {
+		return fmt.Errorf("%s has no effect with -bench (the benchmark suite fixes its scenarios)", s)
+	}
+	if exp == "all" || faultExperiments[exp] {
+		return nil
+	}
+	return fmt.Errorf("%s only affects the fault experiment (faultN), not %q; drop the flag or pick the fault experiment", s, exp)
 }
 
 // listExperiments prints every registered experiment id and title.

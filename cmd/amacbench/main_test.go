@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"strings"
 	"testing"
@@ -192,6 +193,122 @@ func TestObsExperimentsRegistered(t *testing.T) {
 		}
 		if err := validateObsFlags(id, false, "", "m.jsonl", 0); err != nil {
 			t.Fatalf("metrics experiment %q rejected: %v", id, err)
+		}
+	}
+}
+
+// TestValidateExplicitZero: knobs whose zero value means "use the default"
+// must reject an explicit `-flag 0` on the command line — it would silently
+// behave as if the flag were absent — while an unset flag, a nonzero value,
+// or an explicit zero on an unrelated flag all pass.
+func TestValidateExplicitZero(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring; empty means valid
+	}{
+		{name: "no flags", args: nil},
+		{name: "nonzero qcap", args: []string{"-qcap", "64"}},
+		{name: "nonzero deadline and slo", args: []string{"-deadline", "6000", "-slo", "8000"}},
+		{name: "unrelated zero", args: []string{"-window", "0"}},
+		{name: "explicit zero qcap", args: []string{"-qcap", "0"}, wantErr: "-qcap 0 is meaningless"},
+		{name: "explicit zero deadline", args: []string{"-deadline", "0"}, wantErr: "-deadline 0 is meaningless"},
+		{name: "explicit zero slo", args: []string{"-slo", "0"}, wantErr: "-slo 0 is meaningless"},
+		{name: "explicit zero pipecap", args: []string{"-pipecap", "0"}, wantErr: "-pipecap 0 is meaningless"},
+		{name: "explicit zero metrics-interval", args: []string{"-metrics-interval", "0"}, wantErr: "-metrics-interval 0 is meaningless"},
+		{name: "zero among valid flags", args: []string{"-qcap", "32", "-pipecap", "0"}, wantErr: "-pipecap 0 is meaningless"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("amacbench", flag.ContinueOnError)
+			fs.Int("window", 0, "")
+			fs.Int("qcap", 0, "")
+			fs.Int("pipecap", 0, "")
+			fs.Int("metrics-interval", 0, "")
+			fs.Int("deadline", 0, "")
+			fs.Int("slo", 0, "")
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatal(err)
+			}
+			err := validateExplicitZero(fs.Visit)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected an error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestValidateFaultFlags: -faults/-deadline/-slo must be rejected whenever
+// they would silently no-op — any non-fault experiment, and the benchmark
+// suite — or carry a malformed schedule or negative budget; and accepted for
+// the fault experiment and -exp all.
+func TestValidateFaultFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		exp      string
+		bench    bool
+		faults   string
+		slo      int
+		deadline int
+		wantErr  string // substring; empty means valid
+	}{
+		{name: "no fault flags", exp: "fig6"},
+		{name: "faultN plain", exp: "faultN"},
+		{name: "faultN with scripted schedule", exp: "faultN", faults: "slow:0@20000+40000x4,crash:1@90000+30000"},
+		{name: "faultN with random schedule", exp: "faultN", faults: "rand:7:3"},
+		{name: "faultN with deadline", exp: "faultN", deadline: 6000},
+		{name: "faultN with slo", exp: "faultN", slo: 8000},
+		{name: "all includes fault", exp: "all", faults: "freeze:0@1000+2000"},
+		{name: "malformed schedule", exp: "faultN", faults: "slow:0@bogus", wantErr: "-faults"},
+		{name: "slow without factor", exp: "faultN", faults: "slow:0@1000+2000", wantErr: "-faults"},
+		{name: "negative deadline", exp: "faultN", deadline: -1, wantErr: "-deadline must be non-negative"},
+		{name: "negative slo", exp: "faultN", slo: -5, wantErr: "-slo must be non-negative"},
+		{name: "fig6 with faults", exp: "fig6", faults: "rand:1", wantErr: "-faults only affects"},
+		{name: "serveN with deadline", exp: "serveN", deadline: 4000, wantErr: "-deadline only affects"},
+		{name: "serveN with slo", exp: "serveN", slo: 4000, wantErr: "-slo only affects"},
+		{name: "table3 with all three", exp: "table3", faults: "rand:1", slo: 2, deadline: 3, wantErr: "-faults/-deadline/-slo only affects"},
+		{name: "bench with faults", bench: true, faults: "rand:1", wantErr: "no effect with -bench"},
+		{name: "bench with slo", bench: true, slo: 100, wantErr: "no effect with -bench"},
+		{name: "bench without fault flags", bench: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFaultFlags(tc.exp, tc.bench, tc.faults, tc.slo, tc.deadline)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected an error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestFaultExperimentsRegistered mirrors the serving allowlist check for the
+// fault flags: every allowlisted id must exist in the registry and be
+// accepted by the validator.
+func TestFaultExperimentsRegistered(t *testing.T) {
+	for id := range faultExperiments {
+		if _, ok := experiments.Find(id); !ok {
+			t.Fatalf("fault allowlist entry %q is not a registered experiment", id)
+		}
+		if err := validateFaultFlags(id, false, "rand:3", 100, 100); err != nil {
+			t.Fatalf("fault experiment %q rejected: %v", id, err)
 		}
 	}
 }

@@ -210,6 +210,12 @@ type Controller struct {
 	// now is the controller's timebase: the driving core's cycle count as of
 	// the last segment or lease boundary, stamped onto decision-log entries.
 	now uint64
+
+	// tailBias, when set, reports whether the serving layer wants tail-safe
+	// execution (its SLO brownout is shedding load); tailActive remembers the
+	// last reading so each engagement and release is logged once.
+	tailBias   func() bool
+	tailActive bool
 }
 
 // NewController builds a controller with the given configuration. The
@@ -241,6 +247,31 @@ func (ctl *Controller) Info() Info {
 
 // Technique returns the technique currently in force.
 func (ctl *Controller) Technique() ops.Technique { return ctl.chosen }
+
+// SetTailBias attaches the serving layer's tail-safety signal: while f
+// reports true (the SLO brownout is shedding load), exploit leases are
+// forced onto AMAC — the paper's tail-robust engine — regardless of the
+// calibrated cheapest choice. The p99 budget outranks mean cost when the
+// budget is already blown.
+func (ctl *Controller) SetTailBias(f func() bool) { ctl.tailBias = f }
+
+// tailSafe reports whether the tail-safe bias is engaged, logging each
+// engagement (From = calibrated choice, To = AMAC) and release once.
+func (ctl *Controller) tailSafe() bool {
+	if ctl.tailBias == nil {
+		return false
+	}
+	biased := ctl.tailBias()
+	if biased != ctl.tailActive {
+		ctl.tailActive = biased
+		if biased {
+			ctl.record(KindTailSafe, ctl.chosen, ops.AMAC, 0)
+		} else {
+			ctl.record(KindTailSafe, ops.AMAC, ctl.chosen, 0)
+		}
+	}
+	return biased
+}
 
 // Width returns the AMAC width currently in force.
 func (ctl *Controller) Width() int { return ctl.width.W }

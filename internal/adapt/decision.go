@@ -26,6 +26,10 @@ const (
 	// KindQueueReprobe records a calibration discarded because the admission
 	// queue depth jumped across a lease — the service fell behind the load.
 	KindQueueReprobe
+	// KindTailSafe records the SLO brownout engaging (From = the calibrated
+	// choice, To = AMAC) or releasing (the reverse) the tail-safe bias that
+	// forces exploit leases onto AMAC while the p99 budget is blown.
+	KindTailSafe
 )
 
 // String names the kind for tables and logs.
@@ -41,6 +45,8 @@ func (k DecisionKind) String() string {
 		return "drift-reprobe"
 	case KindQueueReprobe:
 		return "queue-reprobe"
+	case KindTailSafe:
+		return "tail-safe"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -59,6 +65,8 @@ func (k DecisionKind) obsCode() int {
 		return obs.DecDriftReprobe
 	case KindQueueReprobe:
 		return obs.DecQueueReprobe
+	case KindTailSafe:
+		return obs.DecTailSafe
 	}
 	return obs.DecProbeStart
 }

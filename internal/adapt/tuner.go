@@ -197,6 +197,12 @@ func (t *StreamTuner) Next() Lease {
 		// probing == -1 keeps the incumbent: an unmeasured warm-up lease so
 		// the first probed candidate is not penalised with cold caches.
 	}
+	if !probe && tech != ops.AMAC && ctl.tailSafe() {
+		// The serving layer's SLO brownout is shedding load: prefer the
+		// tail-robust engine over the calibrated cheapest one until the p99
+		// recovers.
+		tech = ops.AMAC
+	}
 	l := Lease{Tech: tech, Window: cfg.Window, Quota: quota, Probe: probe}
 	if tech == ops.AMAC {
 		l.AMACOpts = ctl.amacOptions()
@@ -248,7 +254,12 @@ func (t *StreamTuner) Observe(l Lease, completed int, busyCycles uint64, sched c
 	}
 
 	ctl.observeGroup(l.Tech, cpl)
-	ctl.observe(cpl)
+	if l.Tech == ctl.chosen {
+		// A tail-safe lease runs AMAC while the calibration references the
+		// chosen technique's cost; feeding it to the drift detector would
+		// compare apples to oranges and churn re-probes mid-brownout.
+		ctl.observe(cpl)
+	}
 	if t.queueDepth != nil {
 		// A queue that doubled across a lease AND holds several windows'
 		// worth of backlog means the service fell behind the offered load:

@@ -92,6 +92,13 @@ type Options struct {
 	// results are bit-identical with or without it, and the nil (disabled)
 	// path costs one predictable branch per event site.
 	Trace *obs.CoreTrace
+	// Deadline, if positive, bounds each request's admission→completion time
+	// in streaming runs: a busy slot whose request has exceeded its deadline
+	// is closed on its next visit — the slot drains exactly like a shrunk
+	// window retires, the in-flight memory ops are left to settle in the
+	// MSHRs, and the request is reported through exec.FailSink instead of
+	// Complete. Batch runs ignore it (a batch has no admission times).
+	Deadline uint64
 }
 
 // resolveWidth applies the width default: an explicit width wins, then the
@@ -462,6 +469,12 @@ type RunStats struct {
 	StageVisits uint64
 	// Retries counts visits that found a latch held and moved on.
 	Retries uint64
+	// TimedOut counts streaming requests closed past their deadline.
+	TimedOut int
+	// Aborted counts in-flight requests discarded by an engine Abort (a
+	// crashed shard). Initiated = Completed + TimedOut + Aborted when a
+	// streaming engine finishes or is aborted — the slot-leak invariant.
+	Aborted int
 }
 
 // Add accumulates another run's scheduling counters, keeping the larger
@@ -482,6 +495,8 @@ func (s *RunStats) Add(other RunStats) {
 	s.Completed += other.Completed
 	s.StageVisits += other.StageVisits
 	s.Retries += other.Retries
+	s.TimedOut += other.TimedOut
+	s.Aborted += other.Aborted
 }
 
 // MergeRunStats folds per-worker AMAC scheduling stats into one.

@@ -45,33 +45,50 @@ func getStreamSlots(n int) *[]streamSlot { return exec.GetPooled[streamSlot](&st
 // Completions are reported to the source at the cycle the Done outcome is
 // observed, which is when the response could be sent.
 func RunStream[S any](c *memsim.Core, src exec.Source[S], opts Options) RunStats {
-	width := opts.resolveWidth(c)
+	e := NewStreamEngine(c, src, opts)
+	e.Run(^uint64(0))
+	stats := e.Stats()
+	e.Close()
+	return stats
+}
 
-	// Controller-driven runs provision the slot buffer at the growth cap and
-	// move the active window inside it, exactly as in the batch engine.
-	ctl := opts.Controller
-	capW := width
-	var probe widthProbe
-	if ctl != nil {
-		capW = opts.maxWidth(width)
-		probe = newWidthProbe(c, opts.probeInterval(width))
-	}
+// StreamEngine is the streaming AMAC scheduler as a resumable object: Run
+// executes the exact loop RunStream runs, but returns control at a caller-
+// chosen simulated-cycle bound instead of only at end-of-stream. Pausing
+// happens between slot visits and charges nothing, so driving an engine in
+// bounded slices is bit-identical to one uninterrupted run — the property
+// the fault-tolerant serving coordinator is built on: it steps every shard's
+// engine on a common virtual timeline, injecting faults and routing recovery
+// traffic at the slice boundaries, without perturbing a single simulated
+// cycle of the execution in between.
+//
+// A StreamEngine additionally enforces Options.Deadline on in-flight
+// requests and supports Abort (a crashed shard discarding its in-flight
+// work); both paths retire slots through the same drain bookkeeping a
+// controller-driven window shrink uses, so no slot and no pooled state is
+// ever leaked: Initiated = Completed + TimedOut + Aborted once the engine
+// finishes.
+type StreamEngine[S any] struct {
+	c   *memsim.Core
+	src exec.Source[S]
+	tr  *obs.CoreTrace
 
-	// Trace methods are nil-safe no-ops; see core.Run.
-	tr := opts.Trace
+	deadline uint64
+	noRefill bool
+	sink     exec.FailSink
 
-	var stats RunStats
-	stats.Width = width
-	stats.MinWidth, stats.MaxWidth = width, width
+	ctl   exec.WidthController
+	probe widthProbe
 
-	states, putStates := exec.GetStates[S](capW)
-	defer putStates()
-	slotsP := getStreamSlots(capW)
-	defer streamSlotPool.Put(slotsP)
-	slots := *slotsP
-	live := 0
-	exhausted := false
-	waitUntil := uint64(0) // no arrivals before this cycle; skip re-polling
+	states    []S
+	putStates func()
+	slotsP    *[]streamSlot
+	slots     []streamSlot
+
+	stats     RunStats
+	live      int
+	exhausted bool
+	waitUntil uint64
 
 	// admit is the refill bound: slots [0, admit) may pull requests. After a
 	// shrink, admit drops first and width follows once the surplus in-flight
@@ -81,135 +98,279 @@ func RunStream[S any](c *memsim.Core, src exec.Source[S], opts Options) RunStats
 	// slot types differ and both loops are zero-allocation hot paths, so the
 	// logic is kept in sync by the symmetric tests in resize_test.go rather
 	// than shared through a busy(i) callback that would escape to the heap.
-	admit := width
-	draining := 0
-	applyWidth := func(target int) {
-		if target == admit {
-			return
-		}
-		stats.WidthChanges++
-		if target < stats.MinWidth {
-			stats.MinWidth = target
-		}
-		if target > stats.MaxWidth {
-			stats.MaxWidth = target
-		}
-		if target >= width {
-			width, admit, draining = target, target, 0
-			return
-		}
-		admit = target
-		draining = 0
-		for i := admit; i < width; i++ {
-			if slots[i].busy {
-				draining++
-			}
-		}
-		if draining == 0 {
-			width = admit
+	width    int
+	admit    int
+	draining int
+	capW     int
+
+	k       int
+	stopped bool
+	done    bool
+}
+
+// NewStreamEngine prepares a streaming run without executing any of it. The
+// caller must Close the engine when finished with it (RunStream does all
+// three steps).
+func NewStreamEngine[S any](c *memsim.Core, src exec.Source[S], opts Options) *StreamEngine[S] {
+	width := opts.resolveWidth(c)
+
+	// Controller-driven runs provision the slot buffer at the growth cap and
+	// move the active window inside it, exactly as in the batch engine.
+	e := &StreamEngine[S]{
+		c:        c,
+		src:      src,
+		tr:       opts.Trace,
+		deadline: opts.Deadline,
+		noRefill: opts.DisableImmediateRefill,
+		ctl:      opts.Controller,
+		width:    width,
+		admit:    width,
+		capW:     width,
+	}
+	if e.ctl != nil {
+		e.capW = opts.maxWidth(width)
+		e.probe = newWidthProbe(c, opts.probeInterval(width))
+	}
+	e.sink, _ = src.(exec.FailSink)
+
+	e.stats.Width = width
+	e.stats.MinWidth, e.stats.MaxWidth = width, width
+
+	e.states, e.putStates = exec.GetStates[S](e.capW)
+	e.slotsP = getStreamSlots(e.capW)
+	e.slots = *e.slotsP
+	return e
+}
+
+// Close releases the engine's pooled slot and state buffers. The engine must
+// not be used afterwards.
+func (e *StreamEngine[S]) Close() {
+	if e.slotsP == nil {
+		return
+	}
+	e.putStates()
+	streamSlotPool.Put(e.slotsP)
+	e.slotsP = nil
+	e.slots = nil
+	e.states = nil
+}
+
+// Stats returns the engine's scheduling counters so far.
+func (e *StreamEngine[S]) Stats() RunStats { return e.stats }
+
+// Done reports whether the run has finished (source exhausted or stopped,
+// and every in-flight lookup retired).
+func (e *StreamEngine[S]) Done() bool { return e.done }
+
+// Live returns the number of in-flight requests.
+func (e *StreamEngine[S]) Live() int { return e.live }
+
+// applyWidth moves the admission bound to target, draining surplus slots.
+func (e *StreamEngine[S]) applyWidth(target int) {
+	if target == e.admit {
+		return
+	}
+	e.stats.WidthChanges++
+	if target < e.stats.MinWidth {
+		e.stats.MinWidth = target
+	}
+	if target > e.stats.MaxWidth {
+		e.stats.MaxWidth = target
+	}
+	if target >= e.width {
+		e.width, e.admit, e.draining = target, target, 0
+		return
+	}
+	e.admit = target
+	e.draining = 0
+	for i := e.admit; i < e.width; i++ {
+		if e.slots[i].busy {
+			e.draining++
 		}
 	}
+	if e.draining == 0 {
+		e.width = e.admit
+	}
+}
 
-	// tryFill pulls the next admitted request into empty slot k; it returns
-	// true if the slot now holds an in-flight lookup.
-	tryFill := func(k int) bool {
-		if k >= admit || exhausted || c.Cycle() < waitUntil {
-			return false
-		}
-		pullAt := c.Cycle()
-		c.Instr(CostStateSwap)
-		pr := src.Pull(c, &states[k], c.Cycle())
-		switch pr.Status {
-		case exec.Exhausted:
-			exhausted = true
-		case exec.Wait:
-			waitUntil = pr.NextArrival
-			if waitUntil <= c.Cycle() {
-				waitUntil = c.Cycle() + 1
-			}
-		case exec.Pulled:
-			stats.Initiated++
-			issue(c, pr.Out)
-			tr.SlotStart(pullAt, k, pr.Req.Index)
-			if pr.Out.Prefetch != 0 {
-				tr.SlotPrefetch(c.Cycle(), k)
-			}
-			if pr.Out.Done {
-				stats.Completed++
-				src.Complete(pr.Req, c.Cycle())
-				tr.SlotEnd(c.Cycle(), k)
-				return false
-			}
-			slots[k] = streamSlot{busy: true, stage: pr.Out.NextStage, req: pr.Req}
-			live++
-			return true
-		}
+// tryFill pulls the next admitted request into empty slot k; it returns
+// true if the slot now holds an in-flight lookup.
+func (e *StreamEngine[S]) tryFill(k int) bool {
+	c := e.c
+	if k >= e.admit || e.exhausted || c.Cycle() < e.waitUntil {
 		return false
 	}
-
-	k := 0
-	stopped := false
-	for {
-		if k >= width {
-			k = 0
+	pullAt := c.Cycle()
+	c.Instr(CostStateSwap)
+	pr := e.src.Pull(c, &e.states[k], c.Cycle())
+	switch pr.Status {
+	case exec.Exhausted:
+		e.exhausted = true
+	case exec.Wait:
+		e.waitUntil = pr.NextArrival
+		if e.waitUntil <= c.Cycle() {
+			e.waitUntil = c.Cycle() + 1
 		}
+	case exec.Pulled:
+		e.stats.Initiated++
+		issue(c, pr.Out)
+		e.tr.SlotStart(pullAt, k, pr.Req.Index)
+		if pr.Out.Prefetch != 0 {
+			e.tr.SlotPrefetch(c.Cycle(), k)
+		}
+		if pr.Out.Done {
+			e.stats.Completed++
+			e.src.Complete(pr.Req, c.Cycle())
+			e.tr.SlotEnd(c.Cycle(), k)
+			return false
+		}
+		e.slots[k] = streamSlot{busy: true, stage: pr.Out.NextStage, req: pr.Req}
+		e.live++
+		return true
+	}
+	return false
+}
+
+// retire empties busy slot k after its request left the engine (completed,
+// timed out or aborted), running the shrink-drain bookkeeping and — on the
+// completion path — the immediate refill that defines streaming AMAC.
+func (e *StreamEngine[S]) retire(k int, refill bool) {
+	e.live--
+	e.slots[k] = streamSlot{}
+	if k >= e.admit {
+		if e.draining > 0 {
+			if e.draining--; e.draining == 0 {
+				e.width = e.admit
+			}
+		}
+	} else if refill && !e.noRefill {
+		e.tryFill(k)
+	}
+}
+
+// Abort discards every in-flight request — the engine's state when its shard
+// crashes. Each busy slot is reported to the source's exec.FailSink (when
+// implemented) with FailCrash and counted in Stats().Aborted; the slot and
+// its pooled state are retired through the normal drain path, so nothing
+// leaks and the engine can keep running after the shard restarts. Returns
+// the number of requests discarded.
+func (e *StreamEngine[S]) Abort() int {
+	n := 0
+	for k := range e.slots {
+		s := &e.slots[k]
+		if !s.busy {
+			continue
+		}
+		n++
+		e.stats.Aborted++
+		if e.sink != nil {
+			e.sink.Fail(s.req, e.c.Cycle(), exec.FailCrash)
+		}
+		e.tr.SlotAbandon(e.c.Cycle(), k, s.req.Index, 1)
+		e.states[k] = *new(S)
+		e.retire(k, false)
+	}
+	return n
+}
+
+// Run executes the streaming loop until the source is exhausted (or a
+// controller stop) and every in-flight lookup has retired — then it returns
+// true — or until the simulated clock reaches limit, returning false with
+// the engine paused between slot visits. Passing ^uint64(0) runs to
+// completion. A paused engine holds no hidden host state: resuming with a
+// later limit continues the identical cycle-for-cycle execution.
+func (e *StreamEngine[S]) Run(limit uint64) bool {
+	if e.done {
+		return true
+	}
+	c := e.c
+	for {
+		if c.Cycle() >= limit {
+			return false
+		}
+		if e.k >= e.width {
+			e.k = 0
+		}
+		k := e.k
 		// Sampling stops with the run: a stopped engine only drains, and a
 		// late positive verdict must not reopen admission.
-		if ctl != nil && !stopped && stats.Completed-probe.lastCompleted >= probe.interval {
-			w := probe.sample(c, admit, stats.Completed)
-			tr.EngineSample(c.Cycle(), admit, w.Outstanding)
-			switch target := ctl.Sample(w); {
+		if e.ctl != nil && !e.stopped && e.stats.Completed-e.probe.lastCompleted >= e.probe.interval {
+			w := e.probe.sample(c, e.admit, e.stats.Completed)
+			e.tr.EngineSample(c.Cycle(), e.admit, w.Outstanding)
+			switch target := e.ctl.Sample(w); {
 			case target < 0:
 				// StopRun: close admission and let the in-flight lookups
 				// drain; the source keeps the unserved requests.
-				stopped = true
-				admit = 0
-				draining = 0
-				tr.Decision(c.Cycle(), obs.DecStopRun, int64(stats.Initiated), 0)
+				e.stopped = true
+				e.admit = 0
+				e.draining = 0
+				e.tr.Decision(c.Cycle(), obs.DecStopRun, int64(e.stats.Initiated), 0)
 			case target > 0:
-				old := admit
-				applyWidth(clampWidth(target, capW))
-				if admit != old {
-					tr.WidthChange(c.Cycle(), admit)
+				old := e.admit
+				e.applyWidth(clampWidth(target, e.capW))
+				if e.admit != old {
+					e.tr.WidthChange(c.Cycle(), e.admit)
 				}
 			}
 		}
-		s := &slots[k]
+		s := &e.slots[k]
 		if !s.busy {
-			if !tryFill(k) && live == 0 {
-				if exhausted || stopped {
-					return stats
+			if !e.tryFill(k) && e.live == 0 {
+				if e.exhausted || e.stopped {
+					e.done = true
+					return true
 				}
 				// Nothing in flight and nothing admitted: sleep until the
-				// next arrival, then retry the same slot.
-				c.AdvanceTo(waitUntil)
+				// next arrival — or the pause bound, whichever is earlier.
+				if e.waitUntil > limit {
+					c.AdvanceTo(limit)
+					return false
+				}
+				c.AdvanceTo(e.waitUntil)
 				continue
 			}
-			k++
+			e.k++
+			continue
+		}
+
+		// Deadline enforcement happens at the slot visit (the engine touches
+		// a request's state nowhere else): an expired request is closed and
+		// its slot drained without abandoning the in-flight memory ops —
+		// whatever its last stage left in the MSHRs settles on its own.
+		if e.deadline != 0 && c.Cycle() > s.req.Admit+e.deadline {
+			c.Instr(CostStateSwap)
+			e.stats.TimedOut++
+			if e.sink != nil {
+				e.sink.Fail(s.req, c.Cycle(), exec.FailDeadline)
+			}
+			e.tr.SlotAbandon(c.Cycle(), k, s.req.Index, 0)
+			e.states[k] = *new(S)
+			e.retire(k, true)
+			e.k++
 			continue
 		}
 
 		stage := s.stage
 		visitAt := c.Cycle()
 		c.Instr(CostStateSwap)
-		out := src.Stage(c, &states[k], stage)
-		stats.StageVisits++
+		out := e.src.Stage(c, &e.states[k], stage)
+		e.stats.StageVisits++
 		if out.Retry {
 			s.stage = out.NextStage
 			s.retries++
-			stats.Retries++
-			tr.SlotRetry(c.Cycle(), k, stage)
-			k++
+			e.stats.Retries++
+			e.tr.SlotRetry(c.Cycle(), k, stage)
+			e.k++
 			continue
 		}
-		tr.StageVisit(visitAt, c.Cycle(), k, stage)
+		e.tr.StageVisit(visitAt, c.Cycle(), k, stage)
 		if !out.Done {
 			issue(c, out)
 			if out.Prefetch != 0 {
-				tr.SlotPrefetch(c.Cycle(), k)
+				e.tr.SlotPrefetch(c.Cycle(), k)
 			}
 			s.stage = out.NextStage
-			k++
+			e.k++
 			continue
 		}
 
@@ -217,20 +378,10 @@ func RunStream[S any](c *memsim.Core, src exec.Source[S], opts Options) RunStats
 		// an in-flight memory access is never wasted (unless the ablation
 		// disabled immediate refill or the slot is draining out of a shrunk
 		// window).
-		stats.Completed++
-		live--
-		src.Complete(s.req, c.Cycle())
-		*s = streamSlot{}
-		tr.SlotEnd(c.Cycle(), k)
-		if k >= admit {
-			if draining > 0 {
-				if draining--; draining == 0 {
-					width = admit
-				}
-			}
-		} else if !opts.DisableImmediateRefill {
-			tryFill(k)
-		}
-		k++
+		e.stats.Completed++
+		e.src.Complete(s.req, c.Cycle())
+		e.tr.SlotEnd(c.Cycle(), k)
+		e.retire(k, true)
+		e.k++
 	}
 }

@@ -1,0 +1,24 @@
+package exec
+
+import "amac/internal/memsim"
+
+// RemapMachine presents a base machine under a position→lookup-index map:
+// lookup i of the wrapper is lookup Idx[i] of the base. It charges nothing
+// simulated itself, so a run over the wrapper is bit-identical to a run
+// that applies the same map at the source layer (serve.RunFaulty's Sched) —
+// the equivalence the fault tier's zero-fault differential tests pin.
+type RemapMachine[S any] struct {
+	M   Machine[S]
+	Idx []int32
+}
+
+func (r RemapMachine[S]) NumLookups() int        { return len(r.Idx) }
+func (r RemapMachine[S]) ProvisionedStages() int { return r.M.ProvisionedStages() }
+
+func (r RemapMachine[S]) Init(c *memsim.Core, s *S, i int) Outcome {
+	return r.M.Init(c, s, int(r.Idx[i]))
+}
+
+func (r RemapMachine[S]) Stage(c *memsim.Core, s *S, stage int) Outcome {
+	return r.M.Stage(c, s, stage)
+}

@@ -118,3 +118,23 @@ func (ms *MachineSource[S]) Complete(req Request, done uint64) {
 		ms.OnComplete(req, done)
 	}
 }
+
+// FailKind classifies a request an engine abandoned instead of completing.
+type FailKind int
+
+const (
+	// FailDeadline: the request's in-flight time exceeded its deadline and
+	// the engine closed the slot.
+	FailDeadline FailKind = iota
+	// FailCrash: the engine was aborted (a crashed shard) with the request
+	// still in flight.
+	FailCrash
+)
+
+// FailSink is implemented by sources that want to hear about requests the
+// engine gave up on (deadline expiry, shard crash). Failed requests are never
+// also Completed. Sources that do not implement it silently lose the
+// notification — the engine's own RunStats still count the failure.
+type FailSink interface {
+	Fail(req Request, at uint64, kind FailKind)
+}

@@ -221,6 +221,7 @@ type workloadSet struct {
 	bsts   *fifoCache[indexKey, indexWorkload[*ops.BSTWorkload]]
 	skips  *fifoCache[indexKey, indexWorkload[*ops.SkipListWorkload]]
 	serves *fifoCache[servingKey, *servingJoin]
+	faults *fifoCache[faultKey, *faultJoin]
 	adapts *fifoCache[adaptKey, adaptExec]
 	pipes  *fifoCache[pipeKey, *pipeWorkload]
 }
@@ -231,6 +232,7 @@ func newWorkloadSet() *workloadSet {
 		bsts:   newFIFOCache[indexKey, indexWorkload[*ops.BSTWorkload]](4),
 		skips:  newFIFOCache[indexKey, indexWorkload[*ops.SkipListWorkload]](4),
 		serves: newFIFOCache[servingKey, *servingJoin](2),
+		faults: newFIFOCache[faultKey, *faultJoin](1),
 		adapts: newFIFOCache[adaptKey, adaptExec](4),
 		pipes:  newFIFOCache[pipeKey, *pipeWorkload](4),
 	}

@@ -80,6 +80,17 @@ type Config struct {
 	// PipeCap overrides the pipeline experiment's inter-stage pipe capacity
 	// in rows (the backpressure bound); zero keeps the pipeline default.
 	PipeCap int
+	// Faults overrides the fault experiment's chaos schedule: a scripted
+	// episode list ("kind:shard@start+dur[xfactor]", comma-separated) or a
+	// seeded random request ("rand:SEED[:N]"); empty keeps faultN's default
+	// scenario (shard 0 at 4x memory latency for the middle half of the run).
+	Faults string
+	// Deadline overrides the fault experiment's per-request cycle budget;
+	// zero derives it from the clean run's p99.
+	Deadline int
+	// SLOBudget sets the fault experiment's p99 SLO budget in cycles and
+	// enables its brownout row; zero omits the row.
+	SLOBudget int
 	// Trace, if non-nil, records a simulated-time event trace of exactly one
 	// designated cell per experiment — serveN's AMAC cell at 90% load,
 	// adaptN's adaptive serving cell at 90% load, pipeN's planner-assigned

@@ -37,7 +37,7 @@ func renderRun(t *testing.T, id string, cfg Config) (text, jsonl string) {
 // byte-identical. The traced runs must also actually record something —
 // a trivially-empty trace would pass the diff while proving nothing.
 func TestObservabilityDifferential(t *testing.T) {
-	metricsOK := map[string]bool{"serveN": true, "adaptN": true, "obsN": true}
+	metricsOK := map[string]bool{"serveN": true, "adaptN": true, "obsN": true, "faultN": true}
 
 	baseText := map[string]string{}
 	baseJSON := map[string]string{}
@@ -59,6 +59,8 @@ func TestObservabilityDifferential(t *testing.T) {
 		{"pipeN", 1},
 		{"pipeN", 4},
 		{"obsN", 1},
+		{"faultN", 1},
+		{"faultN", 4},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -22,6 +22,10 @@ type Core struct {
 	fabric *Fabric
 
 	cycle uint64
+	// memLat is the effective off-chip base latency. It normally equals
+	// cfg.MemLatencyCycles; the fault injector inflates it during a shard
+	// slowdown episode and restores it afterwards (SetMemLatency).
+	memLat uint64
 	// cpiNum/cpiDen express compute cycles per instruction as a rational
 	// number: smtSharers / IssueWidth. Fractional cycles are accumulated in
 	// instrAcc (in units of 1/cpiDen cycles) so accounting stays exact.
@@ -99,6 +103,7 @@ func newCore(cfg *Config, l3 *Cache, fabric *Fabric) *Core {
 	c.streamAhead = uint64(ahead)
 	c.streamEnable = !cfg.DisableStreamPrefetcher
 	c.hookNext = ^uint64(0)
+	c.memLat = cfg.MemLatencyCycles
 	return c
 }
 
@@ -292,6 +297,39 @@ func (c *Core) Reset() {
 	c.hookFn = nil
 	c.hookStep = 0
 	c.hookNext = ^uint64(0)
+	c.memLat = c.cfg.MemLatencyCycles
+}
+
+// SetMemLatency overrides the off-chip base latency in cycles; zero restores
+// the configured value. The fault injector uses it to model a shard whose
+// memory system has slowed (a degraded node, a noisy neighbour): every
+// off-chip fill and the queue model see the inflated base until the episode
+// ends. Callers must restore before recycling the core (Reset also restores).
+func (c *Core) SetMemLatency(cycles uint64) {
+	if cycles == 0 {
+		cycles = c.cfg.MemLatencyCycles
+	}
+	c.memLat = cycles
+}
+
+// MemLatency returns the effective off-chip base latency in cycles.
+func (c *Core) MemLatency() uint64 { return c.memLat }
+
+// FlushPrivate empties the core's private caches, TLB and stream trackers
+// without touching the clock, counters, hooks or the shared L3 — the state a
+// crashed shard restarts with. The first accesses after a flush miss and
+// re-warm, which is exactly the cold-restart penalty the fault injector
+// wants to charge.
+func (c *Core) FlushPrivate() {
+	c.l1.Reset()
+	c.l2.Reset()
+	c.tlb.Reset()
+	for i := range c.streams {
+		c.streams[i] = 0
+	}
+	c.streamRR = 0
+	c.lastStreamLine = 0
+	c.lastStreamMiss = false
 }
 
 // L1 returns the private first-level data cache (exposed for tests).
@@ -420,8 +458,8 @@ func (c *Core) missLatency(line uint64) (lat uint64, offchip bool) {
 	if outstanding > c.offchipDemand {
 		c.offchipDemand = outstanding
 	}
-	mem := c.fabric.OffchipLatency(c.cfg.MemLatencyCycles, c.offchipDemand)
-	c.stats.OffchipQueueExtra += mem - c.cfg.MemLatencyCycles
+	mem := c.fabric.OffchipLatency(c.memLat, c.offchipDemand)
+	c.stats.OffchipQueueExtra += mem - c.memLat
 	return c.l2.Latency() + c.l3.Latency() + mem, true
 }
 

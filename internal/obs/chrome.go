@@ -109,7 +109,7 @@ func (c *CoreTrace) writeChrome(enc *chromeEncoder) error {
 	depth := map[int]int{}
 	for _, ev := range c.Events() {
 		switch ev.Kind {
-		case KindSlotStart, KindSlotEnd, KindStage, KindRetry, KindPrefetch:
+		case KindSlotStart, KindSlotEnd, KindStage, KindRetry, KindPrefetch, KindSlotAbandon:
 			if !slots[ev.Track] {
 				slots[ev.Track] = true
 				if err := meta("thread_name", fmt.Sprintf("slot %d", ev.Track), tidSlotBase+int(ev.Track)); err != nil {
@@ -193,6 +193,69 @@ func (c *CoreTrace) chromeEvent(ev Event) ([]chromeEvent, bool) {
 		return one(counter(fmt.Sprintf("pipe%d depth", ev.Track), ev.A))
 	case KindBackpressure:
 		return instant(tidEngine, fmt.Sprintf("backpressure p%d", ev.Track))
+	case KindSlotAbandon:
+		name := "timeout"
+		if ev.B == 1 {
+			name = "crash drop"
+		}
+		return []chromeEvent{
+			{Name: fmt.Sprintf("%s req %d", name, ev.A), Ph: "i", Ts: ev.Cycle, Pid: c.pid, Tid: slotTid, S: "t"},
+			{Ph: "E", Ts: ev.Cycle, Pid: c.pid, Tid: slotTid},
+		}, true
+	case KindFault:
+		dur := ev.Dur
+		if dur == 0 {
+			dur = 1
+		}
+		return one(chromeEvent{
+			Name: fmt.Sprintf("fault %s x%.1f", faultKindName(int(ev.A)), float64(ev.B)/1000),
+			Ph:   "X", Ts: ev.Cycle, Dur: dur, Pid: c.pid, Tid: tidEngine,
+		})
+	case KindBreaker:
+		return one(chromeEvent{
+			Name: fmt.Sprintf("breaker %s→%s", breakerStateName(int(ev.A)), breakerStateName(int(ev.B))),
+			Ph:   "i", Ts: ev.Cycle, Pid: c.pid, Tid: tidController, S: "t",
+		})
+	case KindHedge:
+		return instant(tidQueue, fmt.Sprintf("hedge req %d → shard %d", ev.A, ev.B))
+	case KindReroute:
+		return instant(tidQueue, fmt.Sprintf("reroute req %d → shard %d", ev.A, ev.B))
+	case KindRequeue:
+		return instant(tidQueue, fmt.Sprintf("retry req %d (#%d)", ev.A, ev.B))
+	case KindBrownout:
+		return []chromeEvent{
+			counter("shed level", ev.A),
+			{Name: fmt.Sprintf("brownout level %d", ev.A), Ph: "i", Ts: ev.Cycle, Pid: c.pid, Tid: tidController, S: "t"},
+		}, true
 	}
 	return nil, false
+}
+
+// faultKindName mirrors fault.Kind.String without importing the package
+// (obs sits below fault in the dependency order).
+func faultKindName(k int) string {
+	switch k {
+	case 0:
+		return "slow"
+	case 1:
+		return "freeze"
+	case 2:
+		return "crash"
+	case 3:
+		return "spike"
+	}
+	return "fault"
+}
+
+// breakerStateName mirrors fault.State.String.
+func breakerStateName(s int) string {
+	switch s {
+	case 0:
+		return "closed"
+	case 1:
+		return "open"
+	case 2:
+		return "half-open"
+	}
+	return "?"
 }

@@ -76,6 +76,27 @@ const (
 	// KindBackpressure marks a stage lease ending because its output pipe is
 	// full (Track = pipe index).
 	KindBackpressure
+	// KindSlotAbandon marks a slot closed without completing its request
+	// (A = request index, B = 0 for a deadline expiry, 1 for a crash abort).
+	KindSlotAbandon
+	// KindFault is a fault-injector episode applied to this core: Dur is the
+	// episode length in cycles, A the fault.Kind code, B the episode factor
+	// in permille (slowdown multiplier or spike rate multiplier).
+	KindFault
+	// KindBreaker is a circuit-breaker state transition (A = from, B = to;
+	// codes are fault.State values).
+	KindBreaker
+	// KindHedge marks a hedge duplicate dispatched for a slow request
+	// (A = request index, B = target shard).
+	KindHedge
+	// KindReroute marks an arrival redirected off its home shard by an open
+	// breaker (A = request index, B = target shard).
+	KindReroute
+	// KindRequeue marks a timed-out request re-enqueued by the retry policy
+	// (A = request index, B = attempt number).
+	KindRequeue
+	// KindBrownout is an SLO brownout shed-level change (A = new level).
+	KindBrownout
 )
 
 // Decision codes carried in KindDecision events (Event.Track). They mirror
@@ -101,6 +122,9 @@ const (
 	// DecWidthGlide: width AIMD glided toward the floor on a compute-bound
 	// phase (A = new width).
 	DecWidthGlide
+	// DecTailSafe: the SLO brownout engaged (or released) the tail-safe bias,
+	// forcing exploit leases onto AMAC (A = technique in force).
+	DecTailSafe
 )
 
 // decisionNames renders decision codes in exported traces.
@@ -114,6 +138,7 @@ var decisionNames = [...]string{
 	DecWidthGrow:    "width grow",
 	DecWidthShrink:  "width shrink",
 	DecWidthGlide:   "width glide",
+	DecTailSafe:     "tail-safe",
 }
 
 // DecisionName returns the human label for a Dec* code.

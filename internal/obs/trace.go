@@ -278,6 +278,64 @@ func (c *CoreTrace) PipeDepth(cycle uint64, pipe, depth int) {
 	c.push(Event{Cycle: cycle, Kind: KindPipeDepth, Track: int32(pipe), A: int64(depth)})
 }
 
+// SlotAbandon records a slot closed without completing its request: kind 0
+// is a deadline expiry, kind 1 a crash abort.
+func (c *CoreTrace) SlotAbandon(cycle uint64, slot, req, kind int) {
+	if c == nil {
+		return
+	}
+	c.push(Event{Cycle: cycle, Kind: KindSlotAbandon, Track: int32(slot), A: int64(req), B: int64(kind)})
+}
+
+// Fault records a fault-injector episode applied to this core: kind is the
+// fault.Kind code, permille the episode factor scaled by 1000.
+func (c *CoreTrace) Fault(cycle, dur uint64, kind int, permille int64) {
+	if c == nil {
+		return
+	}
+	c.push(Event{Cycle: cycle, Dur: dur, Kind: KindFault, A: int64(kind), B: permille})
+}
+
+// Breaker records a circuit-breaker state transition (fault.State codes).
+func (c *CoreTrace) Breaker(cycle uint64, from, to int) {
+	if c == nil {
+		return
+	}
+	c.push(Event{Cycle: cycle, Kind: KindBreaker, A: int64(from), B: int64(to)})
+}
+
+// Hedge records a hedge duplicate dispatched to a sibling shard.
+func (c *CoreTrace) Hedge(cycle uint64, req, target int) {
+	if c == nil {
+		return
+	}
+	c.push(Event{Cycle: cycle, Kind: KindHedge, A: int64(req), B: int64(target)})
+}
+
+// Reroute records an arrival redirected to a sibling by an open breaker.
+func (c *CoreTrace) Reroute(cycle uint64, req, target int) {
+	if c == nil {
+		return
+	}
+	c.push(Event{Cycle: cycle, Kind: KindReroute, A: int64(req), B: int64(target)})
+}
+
+// Requeue records a timed-out request re-enqueued by the retry policy.
+func (c *CoreTrace) Requeue(cycle uint64, req, attempt int) {
+	if c == nil {
+		return
+	}
+	c.push(Event{Cycle: cycle, Kind: KindRequeue, A: int64(req), B: int64(attempt)})
+}
+
+// Brownout records an SLO brownout shed-level change.
+func (c *CoreTrace) Brownout(cycle uint64, level int) {
+	if c == nil {
+		return
+	}
+	c.push(Event{Cycle: cycle, Kind: KindBrownout, A: int64(level)})
+}
+
 // Backpressure records a stage lease ending on a full output pipe.
 func (c *CoreTrace) Backpressure(cycle uint64, pipe int) {
 	if c == nil {

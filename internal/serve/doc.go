@@ -21,4 +21,16 @@
 // Service runs a sharded multi-worker instance of the whole arrangement on
 // exec.RunParallel: every worker owns a private core, machine, queue and
 // recorder, so the simulation stays deterministic under -race.
+//
+// RunFaulty is the fault-tolerant variant of that sharded service: a
+// single-goroutine coordinator steps every shard's engine over shared time
+// slices so that host-side policy — package fault's scripted episodes
+// (slowdown, freeze, crash, arrival spikes), per-request deadlines enforced
+// in queue and in flight, capped-backoff retry, hedged re-dispatch with
+// first-completion-wins dedup, a per-shard circuit breaker and the SLO
+// brownout — can act between slices on the simulated clock. With no faults
+// and no policies configured, RunFaulty is bit-identical to Run; a timed-out
+// slot is drained through the engine's shrink machinery, never abandoned,
+// and the Recorder splits outcomes into served/timed-out/failed/shed/dropped
+// with retry/hedge/reroute activity counted separately.
 package serve

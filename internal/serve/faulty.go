@@ -1,0 +1,648 @@
+package serve
+
+import (
+	"fmt"
+
+	"amac/internal/core"
+	"amac/internal/exec"
+	"amac/internal/fault"
+	"amac/internal/memsim"
+	"amac/internal/obs"
+	"amac/internal/ops"
+)
+
+// FaultyOptions configures a fault-injected service run: the plain serving
+// options plus a chaos schedule, per-request deadlines and the recovery
+// policies layered on top of the shards.
+type FaultyOptions struct {
+	Options
+
+	// Faults is the chaos schedule applied on the simulated clock (nil =
+	// none). Slow episodes inflate the shard's off-chip latency, Freeze
+	// pauses it, Crash aborts its in-flight and queued work and restarts it
+	// with cold private caches, Spike compresses its arrival schedule.
+	Faults *fault.Schedule
+
+	// Deadline is the per-request cycle budget from arrival, enforced both
+	// in the queue (expired entries are resolved at pop) and in flight
+	// (the engine closes and drains the slot). Zero disables deadlines.
+	Deadline uint64
+
+	// Retry re-enqueues a request whose last live copy timed out or was
+	// crash-dropped, with capped exponential backoff.
+	Retry fault.RetryPolicy
+
+	// Hedge dispatches a duplicate of a request still unresolved Delay
+	// cycles after arrival to a healthy sibling shard; the first completion
+	// wins and the loser is absorbed.
+	Hedge fault.HedgePolicy
+
+	// Breaker, when non-nil, gives every shard a circuit breaker fed each
+	// round with the shard's copy outcomes; an open breaker redirects the
+	// shard's arrivals to healthy siblings until probes succeed.
+	Breaker *fault.BreakerConfig
+
+	// SLO, when enabled, drives a per-shard brownout: the sliding p99
+	// against the budget sheds request classes at admission.
+	SLO fault.SLO
+
+	// Slice is the coordinator round length in cycles (default 4096):
+	// engines run concurrently in Slice-sized time slices, and fault
+	// boundaries, hedging, breakers and brownouts apply at round edges.
+	Slice uint64
+
+	// Sched maps each worker's schedule positions to machine lookup
+	// indices. Required whenever a recovery policy (retry, hedge, breaker)
+	// is enabled: every worker's schedule must land in one shared index
+	// space over replicated machines, with no index on two home shards, so
+	// a request keeps its identity when a sibling serves it. Nil keeps the
+	// per-worker identity mapping (valid only for unrouted runs).
+	Sched [][]int32
+}
+
+// routed reports whether any cross-shard recovery policy is active.
+func (o *FaultyOptions) routed() bool {
+	return o.Retry.Enabled() || o.Hedge.Enabled() || o.Breaker != nil
+}
+
+// FaultInfo summarises a run's fault activity for one shard (or merged).
+type FaultInfo struct {
+	// Episodes is the number of fault episodes applied.
+	Episodes int
+	// MaxShedLevel is the highest brownout shed level reached.
+	MaxShedLevel int
+	// Breaker holds every circuit-breaker state transition, in cycle order
+	// per shard; Transition carries the shard.
+	Breaker []fault.Transition
+}
+
+// Merge folds another shard's fault summary into f.
+func (f *FaultInfo) Merge(o *FaultInfo) {
+	f.Episodes += o.Episodes
+	if o.MaxShedLevel > f.MaxShedLevel {
+		f.MaxShedLevel = o.MaxShedLevel
+	}
+	f.Breaker = append(f.Breaker, o.Breaker...)
+}
+
+// reqStatus is a routed request's lifecycle position.
+type reqStatus uint8
+
+const (
+	reqUnseen reqStatus = iota
+	reqPending
+	reqServed
+	reqDead
+)
+
+// reqState is the router's per-request record, indexed by machine lookup
+// index (the request's global identity across replicas).
+type reqState struct {
+	status  reqStatus
+	home    int16
+	copies  int16 // live dispatches: queued or in flight anywhere
+	attempt uint8
+	hedged  bool
+}
+
+// router owns cross-shard recovery for a faulty service run: per-request
+// copy tracking with first-completion-wins dedup, hedged re-dispatch,
+// breaker-driven rerouting and retry re-enqueues. It is host-side policy
+// state touched only from the coordinator goroutine, so every decision is
+// deterministic for a fixed configuration.
+type router struct {
+	retry    fault.RetryPolicy
+	hedge    fault.HedgePolicy
+	breakers []*fault.Breaker // nil when breakers are disabled
+
+	recs   []*Recorder
+	trs    []*obs.CoreTrace
+	down   []bool
+	inject []func(extra)
+
+	reqs        []reqState
+	outstanding int
+
+	// Per-round copy outcomes per executing shard, feeding the breakers.
+	roundDone []int
+	roundDead []int
+
+	// Hedge scanning walks each home shard's arrival schedule directly, so
+	// requests bound for a frozen or crashed shard are hedged even though
+	// the shard never admitted them.
+	scheds   [][]uint64
+	schedIdx [][]int32
+	hedgeCur []int
+}
+
+// state returns the request's record.
+func (r *router) state(idx int32) *reqState { return &r.reqs[idx] }
+
+// ensure registers the request under its home shard on first sight.
+func (r *router) ensure(idx int32, home int) *reqState {
+	st := &r.reqs[idx]
+	if st.status == reqUnseen {
+		st.status = reqPending
+		st.home = int16(home)
+	}
+	return st
+}
+
+// pendingOrNew reports whether the request is still unresolved.
+func (r *router) pendingOrNew(idx int32) bool {
+	return r.reqs[idx].status <= reqPending
+}
+
+// healthy reports whether a shard can take traffic right now.
+func (r *router) healthy(w int) bool {
+	if r.down[w] {
+		return false
+	}
+	if r.breakers != nil && r.breakers[w] != nil && r.breakers[w].State() != fault.StateClosed {
+		return false
+	}
+	return true
+}
+
+// healthySibling picks a healthy shard other than home, rotating the start
+// by the request index so recovered traffic spreads across siblings.
+func (r *router) healthySibling(home int, idx int32) int {
+	n := len(r.inject)
+	if n <= 1 {
+		return -1
+	}
+	start := int(uint32(idx)) % (n - 1)
+	for d := 0; d < n-1; d++ {
+		cand := (home + 1 + (start+d)%(n-1)) % n
+		if cand != home && r.healthy(cand) {
+			return cand
+		}
+	}
+	return -1
+}
+
+// redirect is the breaker check at a home shard's admission: true means the
+// arrival was dispatched to a healthy sibling instead.
+func (r *router) redirect(home int, idx int32, arrival uint64) bool {
+	st := r.ensure(idx, home)
+	if st.status != reqPending {
+		return false
+	}
+	if r.breakers == nil {
+		return false
+	}
+	b := r.breakers[home]
+	if b == nil || b.Admit() {
+		return false
+	}
+	target := r.healthySibling(home, idx)
+	if target < 0 {
+		return false // nowhere healthier: admit locally and hope
+	}
+	st.copies++
+	r.inject[target](extra{idx: idx, arrival: arrival, ready: arrival})
+	r.trs[home].Reroute(arrival, int(idx), target)
+	return true
+}
+
+// onAdmit notes a base arrival queued locally at its home shard.
+func (r *router) onAdmit(home int, idx int32) {
+	st := r.ensure(idx, home)
+	if st.status == reqPending {
+		st.copies++
+	}
+}
+
+// onShed resolves a request rejected by the brownout at admission.
+func (r *router) onShed(home int, idx int32) {
+	st := r.ensure(idx, home)
+	if st.status == reqPending {
+		st.status = reqDead
+		r.outstanding--
+	}
+}
+
+// onDrop resolves a request rejected by a full Drop-policy queue.
+func (r *router) onDrop(home int, idx int32) {
+	r.onShed(home, idx)
+}
+
+// onCopyDead handles one dispatched copy dying at the executing shard — a
+// queue-side deadline expiry, an in-flight timeout, or a crash drop. When it
+// was the request's last live copy, the retry policy either re-enqueues the
+// request (capped exponential backoff, preferring the healthy home) or the
+// request is finally lost.
+func (r *router) onCopyDead(shard int, idx int32, arrival, at uint64, kind exec.FailKind) {
+	r.roundDead[shard]++
+	st := r.state(idx)
+	if st.status != reqPending {
+		return
+	}
+	if st.copies > 0 {
+		st.copies--
+	}
+	if st.copies > 0 {
+		return // a sibling copy is still live
+	}
+	home := int(st.home)
+	if r.retry.Enabled() && int(st.attempt) < r.retry.Max {
+		st.attempt++
+		st.copies++
+		target := home
+		if !r.healthy(home) {
+			if s := r.healthySibling(home, idx); s >= 0 {
+				target = s
+			}
+		}
+		ready := at + r.retry.Delay(int(st.attempt))
+		r.inject[target](extra{idx: idx, attempt: st.attempt, arrival: arrival, ready: ready})
+		r.recs[home].Retried++
+		r.trs[home].Requeue(at, int(idx), int(st.attempt))
+		return
+	}
+	st.status = reqDead
+	r.outstanding--
+	if kind == exec.FailCrash {
+		r.recs[home].Failed++
+	} else {
+		r.recs[home].TimedOut++
+	}
+}
+
+// onComplete handles a completion at the executing shard; it reports whether
+// this completion is the request's first (and should be recorded).
+func (r *router) onComplete(shard int, idx int32) bool {
+	r.roundDone[shard]++
+	st := r.state(idx)
+	if st.copies > 0 {
+		st.copies--
+	}
+	if st.status != reqPending {
+		if st.hedged {
+			r.recs[st.home].HedgeWaste++
+		}
+		return false
+	}
+	st.status = reqServed
+	r.outstanding--
+	if st.hedged && shard != int(st.home) {
+		r.recs[st.home].HedgeWins++
+	}
+	return true
+}
+
+// hedgeScan fires hedge duplicates at a round boundary: every scheduled
+// request older than the hedge delay and still unresolved gets one duplicate
+// on a healthy sibling.
+func (r *router) hedgeScan(t uint64) {
+	if !r.hedge.Enabled() {
+		return
+	}
+	for home := range r.scheds {
+		sched := r.scheds[home]
+		cur := r.hedgeCur[home]
+		for cur < len(sched) && sched[cur]+r.hedge.Delay <= t {
+			arrival := sched[cur]
+			idx := int32(cur)
+			if r.schedIdx[home] != nil {
+				idx = r.schedIdx[home][cur]
+			}
+			cur++
+			st := r.ensure(idx, home)
+			if st.status != reqPending || st.hedged {
+				continue
+			}
+			target := r.healthySibling(home, idx)
+			if target < 0 {
+				continue
+			}
+			st.hedged = true
+			st.copies++
+			r.inject[target](extra{idx: idx, arrival: arrival, ready: t})
+			r.recs[home].Hedged++
+			r.trs[home].Hedge(t, int(idx), target)
+		}
+		r.hedgeCur[home] = cur
+	}
+}
+
+// breakerRound feeds every breaker the round's copy outcomes and traces the
+// resulting transitions.
+func (r *router) breakerRound(t uint64) {
+	if r.breakers == nil {
+		return
+	}
+	for w, b := range r.breakers {
+		before := len(b.Transitions())
+		b.Observe(t, r.roundDone[w], r.roundDead[w])
+		r.roundDone[w], r.roundDead[w] = 0, 0
+		for _, tr := range b.Transitions()[before:] {
+			r.trs[w].Breaker(t, int(tr.From), int(tr.To))
+		}
+	}
+}
+
+// RunFaulty executes the sharded streaming service under deterministic fault
+// injection: the same share-nothing per-worker simulations as Run, but
+// stepped by one coordinator goroutine in Slice-sized time slices of the
+// simulated clock, so the chaos timeline, deadlines, hedging, breakers and
+// brownout apply at identical simulated instants on every execution. The
+// engine pauses charge nothing simulated, so a zero-fault, zero-policy
+// RunFaulty is bit-identical to Run on the same configuration.
+//
+// RunFaulty requires the AMAC engine (timed-out and aborted slots reuse its
+// shrink-drain machinery) and a non-adaptive configuration.
+func RunFaulty[S any](opts FaultyOptions, workers []Worker[S]) Result {
+	n := len(workers)
+	if n == 0 {
+		return Result{}
+	}
+	if opts.Technique != ops.AMAC {
+		panic("serve: RunFaulty requires the AMAC engine")
+	}
+	if opts.Adaptive != nil {
+		panic("serve: RunFaulty does not support adaptive control")
+	}
+	routed := opts.routed()
+	if routed && opts.Sched == nil {
+		panic("serve: recovery policies need a Sched map into a shared index space")
+	}
+	slice := opts.Slice
+	if slice == 0 {
+		slice = 4096
+	}
+
+	// Per-shard chaos timelines; spikes are pre-applied to the arrival
+	// schedules (compression toward the episode start: a burst then a lull,
+	// same total load).
+	eps := make([][]fault.Episode, n)
+	arr := make([][]uint64, n)
+	for w := 0; w < n; w++ {
+		if opts.Faults != nil {
+			eps[w] = opts.Faults.ForShard(w)
+		}
+		arr[w] = fault.ApplySpikes(workers[w].Arrivals, eps[w])
+	}
+
+	pooled := make([]*memsim.PooledSystem, n)
+	cores := make([]*memsim.Core, n)
+	sources := make([]*QueueSource[S], n)
+	trs := make([]*obs.CoreTrace, n)
+	lws := make([]*obs.LatencyWindow, n)
+	shared := opts.Hardware.ShareLLC(n)
+	for w := 0; w < n; w++ {
+		pooled[w] = memsim.AcquireSystem(shared)
+		cores[w] = pooled[w].Core
+		pooled[w].Sys.SetActiveThreads(n, cores[w])
+		if opts.Prepare != nil {
+			opts.Prepare(w, cores[w])
+		}
+		cores[w].ResetStats()
+		sources[w] = NewQueueSource(workers[w].Machine, arr[w], opts.QueueCap, opts.Policy, nil)
+		trs[w] = opts.Trace.Core(fmt.Sprintf("worker %d", w))
+		if trs[w] == nil && opts.Metrics != nil {
+			trs[w] = obs.NewDiscardCore()
+		}
+		sources[w].SetTrace(trs[w])
+		lws[w] = obs.NewLatencyWindow(0)
+		sources[w].SetLatencyWindow(lws[w])
+		sources[w].SetDeadline(opts.Deadline)
+		if opts.Sched != nil {
+			sources[w].SetSchedule(opts.Sched[w])
+		}
+		if opts.Metrics != nil {
+			cm := opts.Metrics.Core(fmt.Sprintf("worker %d", w))
+			src, c, tr, lw := sources[w], cores[w], trs[w], lws[w]
+			cm.Gauge("queue_depth", func() float64 { return float64(src.Depth()) })
+			cm.Gauge("mshr_outstanding", func() float64 { return float64(c.MSHROutstanding()) })
+			cm.Gauge("width", func() float64 { return float64(tr.Width()) })
+			cm.Gauge("p99_window", func() float64 { return float64(lw.Quantile(0.99)) })
+			var prev memsim.Stats
+			cm.Gauge("stall_fraction", func() float64 {
+				s := c.Stats()
+				busy := (s.Cycles - prev.Cycles) - (s.IdleCycles - prev.IdleCycles)
+				stall := s.StallCycles - prev.StallCycles
+				prev = s
+				if busy == 0 {
+					return 0
+				}
+				return float64(stall) / float64(busy)
+			})
+			c.SetCycleHook(opts.Metrics.Interval(), cm.Tick)
+		}
+	}
+
+	var brown []*fault.Brownout
+	if opts.SLO.Enabled() {
+		brown = make([]*fault.Brownout, n)
+		for w := range brown {
+			brown[w] = fault.NewBrownout(opts.SLO)
+			sources[w].SetBrownout(brown[w])
+		}
+	}
+
+	down := make([]bool, n)
+	var r *router
+	if routed {
+		r = &router{
+			retry:     opts.Retry,
+			hedge:     opts.Hedge,
+			recs:      make([]*Recorder, n),
+			trs:       trs,
+			down:      down,
+			inject:    make([]func(extra), n),
+			scheds:    arr,
+			schedIdx:  opts.Sched,
+			hedgeCur:  make([]int, n),
+			roundDone: make([]int, n),
+			roundDead: make([]int, n),
+		}
+		if opts.Breaker != nil {
+			r.breakers = make([]*fault.Breaker, n)
+			for w := range r.breakers {
+				r.breakers[w] = fault.NewBreaker(w, *opts.Breaker)
+			}
+		}
+		total := 0
+		for w := 0; w < n; w++ {
+			r.recs[w] = sources[w].Recorder()
+			src := sources[w]
+			r.inject[w] = func(e extra) { src.inject(e) }
+			r.outstanding += len(arr[w])
+			for _, idx := range opts.Sched[w][:len(arr[w])] {
+				if int(idx) >= total {
+					total = int(idx) + 1
+				}
+			}
+			sources[w].bind(r, w)
+		}
+		r.reqs = make([]reqState, total)
+	}
+
+	engines := make([]*core.StreamEngine[S], n)
+	for w := 0; w < n; w++ {
+		engines[w] = core.NewStreamEngine(cores[w], sources[w],
+			core.Options{Width: opts.Window, Trace: trs[w], Deadline: opts.Deadline})
+	}
+
+	timelines := make([]*fault.Timeline, n)
+	for w := 0; w < n; w++ {
+		timelines[w] = fault.NewTimeline(eps[w])
+	}
+	downUntil := make([]uint64, n)
+	engDone := make([]bool, n)
+	infos := make([]FaultInfo, n)
+	closed := false
+
+	baseLat := cores[0].MemLatency()
+	for {
+		allDone := true
+		for w := 0; w < n; w++ {
+			if !engDone[w] {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+		var t uint64
+		if closed {
+			// Everything is resolved: let the engines drain unbounded.
+			t = ^uint64(0)
+		} else {
+			t = timelinesNext(cores, slice)
+		}
+		// Fault boundaries first, in shard order, then thaw.
+		for w := 0; w < n; w++ {
+			w := w
+			timelines[w].Advance(t, func(ep fault.Episode, begin bool) {
+				switch ep.Kind {
+				case fault.Slow:
+					if begin {
+						infos[w].Episodes++
+						scaled := uint64(float64(baseLat) * ep.Factor)
+						cores[w].SetMemLatency(scaled)
+						trs[w].Fault(ep.Start, ep.Dur, int(ep.Kind), int64(ep.Factor*1000))
+					} else {
+						cores[w].SetMemLatency(0)
+					}
+				case fault.Freeze:
+					if begin {
+						infos[w].Episodes++
+						down[w] = true
+						downUntil[w] = ep.End()
+						trs[w].Fault(ep.Start, ep.Dur, int(ep.Kind), 1000)
+					}
+				case fault.Crash:
+					if begin {
+						infos[w].Episodes++
+						engines[w].Abort()
+						sources[w].failQueued(cores[w].Cycle())
+						cores[w].FlushPrivate()
+						down[w] = true
+						downUntil[w] = ep.End()
+						trs[w].Fault(ep.Start, ep.Dur, int(ep.Kind), 1000)
+					}
+				case fault.Spike:
+					if begin {
+						infos[w].Episodes++
+						trs[w].Fault(ep.Start, ep.Dur, int(ep.Kind), int64(ep.Factor*1000))
+					}
+				}
+			})
+			if down[w] && downUntil[w] <= t {
+				down[w] = false
+				if !engDone[w] && cores[w].Cycle() < downUntil[w] {
+					// The shard did nothing while down; its clock jumps to
+					// the episode end as pure idle time.
+					cores[w].AdvanceTo(downUntil[w])
+				}
+			}
+		}
+		// Run every live engine up to the round edge, in shard order.
+		for w := 0; w < n; w++ {
+			if engDone[w] || down[w] {
+				continue
+			}
+			sources[w].setHorizon(t)
+			engDone[w] = engines[w].Run(t)
+		}
+		// Recovery policies tick at the round edge. After close every request
+		// is resolved, so the unbounded drain round has nothing to route —
+		// ticking it would only stamp sentinel-time transitions into the
+		// breaker log.
+		if r != nil && !closed {
+			r.hedgeScan(t)
+			r.breakerRound(t)
+		}
+		if brown != nil {
+			for w := 0; w < n; w++ {
+				lvl, changed := brown[w].Observe(lws[w].Quantile(0.99))
+				if changed {
+					trs[w].Brownout(t, lvl)
+				}
+				if lvl > infos[w].MaxShedLevel {
+					infos[w].MaxShedLevel = lvl
+				}
+			}
+		}
+		if r != nil && !closed && r.outstanding == 0 {
+			scheduled := true
+			for w := 0; w < n; w++ {
+				if !sources[w].scheduleDone() {
+					scheduled = false
+					break
+				}
+			}
+			if scheduled {
+				closed = true
+				for w := 0; w < n; w++ {
+					sources[w].closeRouted()
+				}
+			}
+		}
+	}
+
+	res := Result{Faults: &FaultInfo{}}
+	sched := make([]core.RunStats, n)
+	perStats := make([]memsim.Stats, n)
+	for w := 0; w < n; w++ {
+		sched[w] = engines[w].Stats()
+		engines[w].Close()
+		perStats[w] = cores[w].Stats()
+	}
+	res.Stats = memsim.MergeParallel(perStats)
+	res.Sched = core.MergeRunStats(sched)
+	for w := 0; w < n; w++ {
+		if r != nil && r.breakers != nil {
+			infos[w].Breaker = append(infos[w].Breaker, r.breakers[w].Transitions()...)
+		}
+		info := infos[w]
+		wr := WorkerResult{
+			Stats:   perStats[w],
+			Latency: sources[w].Recorder(),
+			Sched:   sched[w],
+			Faults:  &info,
+		}
+		res.PerWorker = append(res.PerWorker, wr)
+		res.Latency.Merge(sources[w].Recorder())
+		res.Faults.Merge(&info)
+		sources[w].Close()
+		cores[w].SetCycleHook(0, nil)
+		pooled[w].Release()
+	}
+	return res
+}
+
+// timelinesNext picks the next round edge: one slice past the most advanced
+// live core (so rounds always make progress even after long idle jumps).
+func timelinesNext(cores []*memsim.Core, slice uint64) uint64 {
+	var maxC uint64
+	for _, c := range cores {
+		if cy := c.Cycle(); cy > maxC {
+			maxC = cy
+		}
+	}
+	return (maxC/slice + 1) * slice
+}

@@ -19,6 +19,30 @@ type Recorder struct {
 	// Dropped counts requests rejected by a full Drop-policy queue.
 	Dropped uint64
 
+	// Fault-tolerant serving outcomes (all zero in plain runs). Recovery
+	// counters live on a request's home shard; latency is recorded on the
+	// shard that actually served it.
+
+	// TimedOut counts requests that exceeded their deadline (queued or in
+	// flight) and were not recovered by a retry.
+	TimedOut uint64
+	// Failed counts requests lost to a shard crash and not recovered.
+	Failed uint64
+	// Shed counts requests rejected at admission by the SLO brownout.
+	Shed uint64
+	// Retried counts retry re-dispatches issued for this shard's requests.
+	Retried uint64
+	// Hedged counts hedge duplicates issued for this shard's requests.
+	Hedged uint64
+	// HedgeWins counts requests whose hedge duplicate completed first.
+	HedgeWins uint64
+	// HedgeWaste counts duplicate completions that arrived after the request
+	// was already resolved.
+	HedgeWaste uint64
+	// Rerouted counts arrivals redirected to a sibling shard by this shard's
+	// open circuit breaker.
+	Rerouted uint64
+
 	// SumLatency and MaxLatency summarise admission→completion cycles.
 	SumLatency uint64
 	MaxLatency uint64
@@ -186,6 +210,14 @@ func (r *Recorder) Merge(other *Recorder) {
 	r.Offered += other.Offered
 	r.Completed += other.Completed
 	r.Dropped += other.Dropped
+	r.TimedOut += other.TimedOut
+	r.Failed += other.Failed
+	r.Shed += other.Shed
+	r.Retried += other.Retried
+	r.Hedged += other.Hedged
+	r.HedgeWins += other.HedgeWins
+	r.HedgeWaste += other.HedgeWaste
+	r.Rerouted += other.Rerouted
 	r.SumLatency += other.SumLatency
 	if other.MaxLatency > r.MaxLatency {
 		r.MaxLatency = other.MaxLatency
@@ -201,8 +233,14 @@ func (r *Recorder) Merge(other *Recorder) {
 	}
 }
 
-// String renders a one-line summary for logs and examples.
+// String renders a one-line summary for logs and examples. Fault-tolerance
+// counters appear only when nonzero, so clean runs render exactly as before.
 func (r *Recorder) String() string {
-	return fmt.Sprintf("completed=%d dropped=%d p50=%d p95=%d p99=%d max=%d meanQwait=%.0f maxDepth=%d",
+	s := fmt.Sprintf("completed=%d dropped=%d p50=%d p95=%d p99=%d max=%d meanQwait=%.0f maxDepth=%d",
 		r.Completed, r.Dropped, r.P50(), r.P95(), r.P99(), r.MaxLatency, r.MeanQueueWait(), r.DepthMax)
+	if r.TimedOut+r.Failed+r.Shed+r.Retried+r.Hedged+r.Rerouted > 0 {
+		s += fmt.Sprintf(" timedOut=%d failed=%d shed=%d retried=%d hedged=%d rerouted=%d",
+			r.TimedOut, r.Failed, r.Shed, r.Retried, r.Hedged, r.Rerouted)
+	}
+	return s
 }

@@ -6,6 +6,7 @@ import (
 	"amac/internal/adapt"
 	"amac/internal/core"
 	"amac/internal/exec"
+	"amac/internal/fault"
 	"amac/internal/memsim"
 	"amac/internal/obs"
 	"amac/internal/ops"
@@ -82,6 +83,11 @@ type Options struct {
 	// Metrics.Interval() simulated cycles via the core's cycle hook. Purely
 	// observational, like Trace.
 	Metrics *obs.Metrics
+	// SLO, when enabled, gives every worker an SLO brownout: the shard's
+	// sliding p99 against the budget sheds request classes at admission, and
+	// adaptive runs additionally bias exploit leases onto AMAC (the
+	// tail-robust engine) while classes are shed.
+	SLO fault.SLO
 }
 
 // WorkerResult is one worker's outcome.
@@ -93,6 +99,9 @@ type WorkerResult struct {
 	// Adapt holds the shard controller's tallies for adaptive runs (nil
 	// otherwise).
 	Adapt *adapt.Info
+	// Faults holds the shard's fault-injection summary for RunFaulty runs
+	// (nil otherwise).
+	Faults *FaultInfo
 }
 
 // Result is the merged outcome of a service run.
@@ -108,6 +117,9 @@ type Result struct {
 	// Adapt merges the shard controllers' tallies for adaptive runs (nil
 	// otherwise).
 	Adapt *adapt.Info
+	// Faults merges the shards' fault-injection summaries for RunFaulty runs
+	// (nil otherwise).
+	Faults *FaultInfo
 }
 
 // ElapsedCycles is the simulated wall-clock of the service phase.
@@ -139,6 +151,7 @@ func Run[S any](opts Options, workers []Worker[S]) Result {
 	cores := make([]*memsim.Core, n)
 	sources := make([]*QueueSource[S], n)
 	trs := make([]*obs.CoreTrace, n)
+	brown := make([]*fault.Brownout, n)
 	shared := opts.Hardware.ShareLLC(n)
 	for w := 0; w < n; w++ {
 		pooled[w] = memsim.AcquireSystem(shared)
@@ -158,11 +171,18 @@ func Run[S any](opts Options, workers []Worker[S]) Result {
 			trs[w] = obs.NewDiscardCore()
 		}
 		sources[w].SetTrace(trs[w])
+		var lw *obs.LatencyWindow
+		if opts.Metrics != nil || opts.SLO.Enabled() {
+			lw = obs.NewLatencyWindow(0)
+			sources[w].SetLatencyWindow(lw)
+		}
+		if opts.SLO.Enabled() {
+			brown[w] = fault.NewBrownout(opts.SLO)
+			sources[w].SetBrownout(brown[w])
+		}
 		if opts.Metrics != nil {
 			cm := opts.Metrics.Core(fmt.Sprintf("worker %d", w))
 			src, c, tr := sources[w], cores[w], trs[w]
-			lw := obs.NewLatencyWindow(0)
-			src.SetLatencyWindow(lw)
 			cm.Gauge("queue_depth", func() float64 { return float64(src.Depth()) })
 			cm.Gauge("mshr_outstanding", func() float64 { return float64(c.MSHROutstanding()) })
 			cm.Gauge("width", func() float64 { return float64(tr.Width()) })
@@ -189,6 +209,10 @@ func Run[S any](opts Options, workers []Worker[S]) Result {
 		for w := range ctls {
 			ctls[w] = adapt.NewController(*opts.Adaptive)
 			ctls[w].SetTrace(trs[w])
+			if brown[w] != nil {
+				b := brown[w]
+				ctls[w].SetTailBias(func() bool { return b.Level() > 0 })
+			}
 		}
 	}
 	ps := exec.RunParallel(cores, func(w int, c *memsim.Core) {

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"amac/internal/exec"
+	"amac/internal/fault"
 	"amac/internal/memsim"
 	"amac/internal/obs"
 )
@@ -93,6 +94,50 @@ type QueueSource[S any] struct {
 	ring       []int32
 	mask       int
 	head, tail int
+
+	// Fault-tolerant serving extensions. All are zero/nil in plain runs, in
+	// which case every code path below reduces exactly to the original
+	// queue: same instruction charges, same events, same accounting.
+
+	// shard is this queue's worker index under a fault router.
+	shard int
+	// sched maps a schedule position to the machine lookup index it serves;
+	// nil means the identity (position i is lookup i). A router requires an
+	// explicit map placing every worker's schedule in one shared index
+	// space, so a request keeps its identity when served by a sibling.
+	sched []int32
+	// deadline is the per-request budget in cycles from arrival; entries
+	// that expire while still queued are resolved at pop time. Zero
+	// disables the check.
+	deadline uint64
+	// brown, when set, sheds arrivals whose class (lookup index mod
+	// classes) is currently browned out.
+	brown   *fault.Brownout
+	classes int
+	// sloN counts admissions toward the queue-local brownout observation
+	// (used only when no router owns the brownout).
+	sloN int
+	// router, when set, owns cross-shard recovery: it is consulted at
+	// admission (breaker reroutes), at entry expiry and on completion.
+	router *router
+	// horizon is the wait floor handed to the engine when the queue is
+	// empty but the router may still inject work; the coordinator advances
+	// it every round. closed means the router declared the run resolved.
+	horizon uint64
+	closed  bool
+	// extras holds router-injected recovery dispatches (hedge duplicates,
+	// breaker reroutes, retry re-enqueues), served ahead of the base ring
+	// in injection order once their ready cycle passes.
+	extras    []extra
+	extraHead int
+}
+
+// extra is one router-injected recovery dispatch.
+type extra struct {
+	idx     int32  // machine lookup index (the request's global identity)
+	attempt uint8  // retry attempt; zero for hedges and reroutes
+	arrival uint64 // original arrival cycle — the latency base
+	ready   uint64 // earliest cycle the entry may be pulled
 }
 
 // NewQueueSource builds a source serving the machine's lookups at the given
@@ -147,6 +192,116 @@ func (q *QueueSource[S]) SetTrace(tr *obs.CoreTrace) { q.tr = tr }
 // observational.
 func (q *QueueSource[S]) SetLatencyWindow(lw *obs.LatencyWindow) { q.lat = lw }
 
+// SetSchedule maps schedule positions to machine lookup indices (nil keeps
+// the identity). Routed services use it to place every worker's schedule in
+// one shared index space over replicated machines.
+func (q *QueueSource[S]) SetSchedule(sched []int32) { q.sched = sched }
+
+// SetDeadline sets the per-request cycle budget from arrival; zero disables.
+func (q *QueueSource[S]) SetDeadline(d uint64) { q.deadline = d }
+
+// SetBrownout attaches an SLO brownout controller: arrivals whose class
+// (lookup index mod the controller's class count) is shed are rejected at
+// admission. When no router owns the controller, the queue feeds it the
+// sliding p99 itself, once every 64 offered requests (SetLatencyWindow must
+// be called too).
+func (q *QueueSource[S]) SetBrownout(b *fault.Brownout) {
+	q.brown = b
+	if b != nil {
+		q.classes = b.Classes()
+	}
+}
+
+// bind attaches the fault router that owns this queue's shard.
+func (q *QueueSource[S]) bind(r *router, shard int) { q.router = r; q.shard = shard }
+
+// setHorizon advances the round-boundary wait floor the engine sees while
+// the router may still inject work into an otherwise empty queue.
+func (q *QueueSource[S]) setHorizon(h uint64) { q.horizon = h }
+
+// closeRouted marks the routed run resolved: once the backlog drains, Pull
+// reports Exhausted instead of waiting on the horizon.
+func (q *QueueSource[S]) closeRouted() { q.closed = true }
+
+// inject appends a recovery dispatch; it is served ahead of the base ring
+// once its ready cycle passes.
+func (q *QueueSource[S]) inject(e extra) { q.extras = append(q.extras, e) }
+
+// scheduleDone reports whether every base arrival has been consumed.
+func (q *QueueSource[S]) scheduleDone() bool { return q.next >= len(q.arrivals) }
+
+// idxAt resolves a schedule position to its machine lookup index.
+func (q *QueueSource[S]) idxAt(pos int32) int32 {
+	if q.sched == nil {
+		return pos
+	}
+	return q.sched[pos]
+}
+
+// maybeObserveSLO feeds the queue-owned brownout controller (router-less
+// runs only) the sliding p99 once every 64 offered requests.
+func (q *QueueSource[S]) maybeObserveSLO(now uint64) {
+	if q.brown == nil || q.router != nil {
+		return
+	}
+	q.sloN++
+	if q.sloN < 64 {
+		return
+	}
+	q.sloN = 0
+	if lvl, changed := q.brown.Observe(q.lat.Quantile(0.99)); changed {
+		q.tr.Brownout(now, lvl)
+	}
+}
+
+// timeoutEntry resolves a queued entry whose deadline expired before an
+// engine could pull it.
+func (q *QueueSource[S]) timeoutEntry(idx int32, arrival, now uint64) {
+	q.tr.QueueDrop(now, int(idx))
+	if q.router != nil {
+		q.router.onCopyDead(q.shard, idx, arrival, now, exec.FailDeadline)
+		return
+	}
+	q.rec.TimedOut++
+}
+
+// Fail implements exec.FailSink: the engine reports a slot it closed without
+// completing (deadline expiry in flight, or a crash abort).
+func (q *QueueSource[S]) Fail(req exec.Request, at uint64, kind exec.FailKind) {
+	if q.router != nil {
+		q.router.onCopyDead(q.shard, int32(req.Index), req.Admit, at, kind)
+		return
+	}
+	if kind == exec.FailCrash {
+		q.rec.Failed++
+	} else {
+		q.rec.TimedOut++
+	}
+}
+
+// failQueued drops every queued entry (base ring and pending extras) on a
+// shard crash; the router decides which requests retry and which are lost.
+func (q *QueueSource[S]) failQueued(now uint64) {
+	for q.head < q.tail {
+		pos := q.ring[q.head&q.mask]
+		q.head++
+		if q.router != nil {
+			q.router.onCopyDead(q.shard, q.idxAt(pos), q.arrivals[pos], now, exec.FailCrash)
+		} else {
+			q.rec.Failed++
+		}
+	}
+	for q.extraHead < len(q.extras) {
+		e := q.extras[q.extraHead]
+		q.extraHead++
+		if q.router != nil {
+			q.router.onCopyDead(q.shard, e.idx, e.arrival, now, exec.FailCrash)
+		} else {
+			q.rec.Failed++
+		}
+	}
+}
+
 // depth returns the number of admitted, not-yet-pulled requests.
 func (q *QueueSource[S]) depth() int { return q.tail - q.head }
 
@@ -173,11 +328,42 @@ func (q *QueueSource[S]) grow() {
 // occupancy cannot fall between two pulls.
 func (q *QueueSource[S]) admit(c *memsim.Core, now uint64) {
 	for q.next < len(q.arrivals) && q.arrivals[q.next] <= now {
+		// Front-door recovery checks, before any queueing: a request already
+		// resolved by a hedge is consumed silently, a browned-out class is
+		// shed, an open breaker redirects to a healthy sibling. Each counts
+		// the offer on this (home) shard.
+		if q.router != nil || q.brown != nil {
+			idx := q.idxAt(int32(q.next))
+			if q.router != nil && !q.router.pendingOrNew(idx) {
+				q.rec.Offered++
+				q.next++
+				continue
+			}
+			if q.brown != nil && !q.brown.Admit(int(idx)%q.classes) {
+				q.rec.Offered++
+				q.rec.Shed++
+				if q.router != nil {
+					q.router.onShed(q.shard, idx)
+				}
+				q.next++
+				q.maybeObserveSLO(now)
+				continue
+			}
+			if q.router != nil && q.router.redirect(q.shard, idx, q.arrivals[q.next]) {
+				q.rec.Offered++
+				q.rec.Rerouted++
+				q.next++
+				continue
+			}
+		}
 		if q.capacity > 0 && q.depth() >= q.capacity {
 			if q.policy == Drop {
 				q.rec.Offered++
 				q.rec.recordDrop()
 				q.tr.QueueDrop(q.arrivals[q.next], q.next)
+				if q.router != nil {
+					q.router.onDrop(q.shard, q.idxAt(int32(q.next)))
+				}
 				q.next++
 				continue
 			}
@@ -193,30 +379,77 @@ func (q *QueueSource[S]) admit(c *memsim.Core, now uint64) {
 		q.tr.QueueAdmit(q.arrivals[q.next], q.next)
 		q.ring[q.tail&q.mask] = int32(q.next)
 		q.tail++
+		if q.router != nil {
+			q.router.onAdmit(q.shard, q.idxAt(int32(q.next)))
+		}
 		q.next++
+		q.maybeObserveSLO(now)
 	}
 }
 
 // ProvisionedStages implements exec.Source.
 func (q *QueueSource[S]) ProvisionedStages() int { return q.m.ProvisionedStages() }
 
-// Pull implements exec.Source: admit due arrivals, then hand out the queue
-// head.
+// Pull implements exec.Source: admit due arrivals, then hand out the next
+// runnable entry — injected recovery dispatches first, then the queue head.
+// Entries whose deadline expired while queued, and copies of requests a
+// sibling already resolved, are skipped (each skip still pays the pop cost).
 func (q *QueueSource[S]) Pull(c *memsim.Core, s *S, now uint64) exec.PullResult {
 	q.admit(c, now)
 	q.rec.sampleDepth(q.depth())
 	q.tr.QueueDepth(now, q.depth())
-	if q.depth() > 0 {
-		idx := int(q.ring[q.head&q.mask])
-		q.head++
+	for q.extraHead < len(q.extras) && q.extras[q.extraHead].ready <= now {
+		e := q.extras[q.extraHead]
+		q.extraHead++
 		c.Instr(costPop)
-		req := exec.Request{Index: idx, Admit: q.arrivals[idx]}
-		q.rec.recordQueueWait(now - req.Admit)
-		out := q.m.Init(c, s, idx)
+		if q.router != nil && !q.router.pendingOrNew(e.idx) {
+			continue
+		}
+		if q.deadline != 0 && now > e.arrival+q.deadline {
+			q.timeoutEntry(e.idx, e.arrival, now)
+			continue
+		}
+		req := exec.Request{Index: int(e.idx), Admit: e.arrival}
+		q.rec.recordQueueWait(now - e.ready)
+		out := q.m.Init(c, s, int(e.idx))
 		return exec.PullResult{Status: exec.Pulled, Out: out, Req: req}
 	}
+	for q.depth() > 0 {
+		pos := q.ring[q.head&q.mask]
+		q.head++
+		c.Instr(costPop)
+		idx := q.idxAt(pos)
+		arrival := q.arrivals[pos]
+		if q.router != nil && !q.router.pendingOrNew(idx) {
+			continue
+		}
+		if q.deadline != 0 && now > arrival+q.deadline {
+			q.timeoutEntry(idx, arrival, now)
+			continue
+		}
+		req := exec.Request{Index: int(idx), Admit: arrival}
+		q.rec.recordQueueWait(now - arrival)
+		out := q.m.Init(c, s, int(idx))
+		return exec.PullResult{Status: exec.Pulled, Out: out, Req: req}
+	}
+	wait, has := uint64(0), false
 	if q.next < len(q.arrivals) {
-		return exec.PullResult{Status: exec.Wait, NextArrival: q.arrivals[q.next]}
+		wait, has = q.arrivals[q.next], true
+	}
+	if q.extraHead < len(q.extras) {
+		if r := q.extras[q.extraHead].ready; !has || r < wait {
+			wait, has = r, true
+		}
+	}
+	if has {
+		return exec.PullResult{Status: exec.Wait, NextArrival: wait}
+	}
+	if q.router != nil && !q.closed {
+		h := q.horizon
+		if h <= now {
+			h = now + 1
+		}
+		return exec.PullResult{Status: exec.Wait, NextArrival: h}
 	}
 	return exec.PullResult{Status: exec.Exhausted}
 }
@@ -226,8 +459,13 @@ func (q *QueueSource[S]) Stage(c *memsim.Core, s *S, stage int) exec.Outcome {
 	return q.m.Stage(c, s, stage)
 }
 
-// Complete implements exec.Source: record admission→completion latency.
+// Complete implements exec.Source: record admission→completion latency. With
+// a router, only the first completion of a request counts; late duplicates
+// (a hedge losing the race) are absorbed silently.
 func (q *QueueSource[S]) Complete(req exec.Request, done uint64) {
+	if q.router != nil && !q.router.onComplete(q.shard, int32(req.Index)) {
+		return
+	}
 	q.rec.RecordLatency(done - req.Admit)
 	q.lat.Record(done - req.Admit)
 }

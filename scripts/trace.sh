@@ -15,9 +15,9 @@
 #   scripts/trace.sh [outdir]
 #   EXP=serveN SCALE=small scripts/trace.sh out
 #
-# EXP must be one of the traceable experiments (serveN, adaptN, pipeN, obsN);
-# pipeN records a trace but no metrics, so the metrics pass is skipped for
-# it. Tracing never changes simulated results — the tables printed here are
+# EXP must be one of the traceable experiments (serveN, adaptN, pipeN, obsN,
+# faultN); pipeN records a trace but no metrics, so the metrics pass is
+# skipped for it. Tracing never changes simulated results — the tables printed here are
 # byte-identical to an untraced run (TestObservabilityDifferential holds the
 # module to that).
 
@@ -26,7 +26,7 @@ set -eu
 outdir="${1:-.}"
 exp="${EXP:-adaptN}"
 scale="${SCALE:-tiny}"
-interval="${INTERVAL:-0}" # 0 = the 4096-cycle default
+interval="${INTERVAL:-}" # unset/empty = the 4096-cycle default
 
 mkdir -p "$outdir"
 trace="$outdir/${exp}_${scale}.trace.json"
@@ -39,8 +39,13 @@ pipeN)
 	;;
 *)
 	echo ">> amacbench -exp $exp -scale $scale -trace $trace -metrics $metrics"
-	go run ./cmd/amacbench -exp "$exp" -scale "$scale" \
-		-trace "$trace" -metrics "$metrics" -metrics-interval "$interval"
+	if [ -n "$interval" ]; then
+		go run ./cmd/amacbench -exp "$exp" -scale "$scale" \
+			-trace "$trace" -metrics "$metrics" -metrics-interval "$interval"
+	else
+		go run ./cmd/amacbench -exp "$exp" -scale "$scale" \
+			-trace "$trace" -metrics "$metrics"
+	fi
 	;;
 esac
 
