@@ -22,6 +22,8 @@
 //	amacbench -exp serveN -json         # machine-readable results, one JSON object per row
 //	amacbench -exp adaptN -trace t.json # export a Perfetto-loadable event trace
 //	amacbench -exp obsN -metrics m.jsonl -metrics-interval 2048  # gauge time series
+//	amacbench -exp profN                # cycle attribution: category breakdown, stall hiding, MLP
+//	amacbench -exp profN -flame f.txt -profile p.pb.gz  # flamegraph stacks + pprof proto
 //	amacbench -bench                    # benchmark suite -> BENCH_pr4.json
 //	amacbench -bench -benchgate BENCH_pr4.json  # CI gate: fail on >3x ns/op regressions
 //	amacbench -exp fig6 -cpuprofile cpu.prof  # profile the simulator hot path
@@ -46,6 +48,7 @@ import (
 	"amac/internal/experiments"
 	"amac/internal/fault"
 	"amac/internal/obs"
+	"amac/internal/prof"
 	"amac/internal/profile"
 	"amac/internal/serve"
 )
@@ -71,6 +74,8 @@ func main() {
 		tracePath = flag.String("trace", "", "write a Chrome/Perfetto trace of the experiment's designated cell to this file")
 		metPath   = flag.String("metrics", "", "write the designated cell's gauge time series to this file as JSON Lines")
 		metEvery  = flag.Int("metrics-interval", 0, "metrics sampling period in simulated cycles (0 = default 4096); requires -metrics")
+		profPath  = flag.String("profile", "", "write the designated cell's cycle-attribution profile to this file as a gzipped pprof proto (go tool pprof)")
+		flamePath = flag.String("flame", "", "write the designated cell's cycle attribution to this file as folded flamegraph stacks (flamegraph.pl, speedscope)")
 		bench     = flag.Bool("bench", false, "run the benchmark suite and write per-benchmark ns/op, allocs/op and simulated cycles")
 		benchOut  = flag.String("benchout", "BENCH_pr4.json", "output path for -bench")
 		benchGate = flag.String("benchgate", "", "baseline JSON to gate -bench against: fail on any shared benchmark regressing more than 3x in ns/op")
@@ -165,6 +170,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
 		os.Exit(2)
 	}
+	if err := validateProfFlags(*exp, *bench, *profPath, *flamePath); err != nil {
+		fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
+		os.Exit(2)
+	}
 	if err := validateFaultFlags(*exp, *bench, *faults, *slo, *deadline); err != nil {
 		fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
 		os.Exit(2)
@@ -185,6 +194,9 @@ func main() {
 	}
 	if *metPath != "" {
 		cfg.Metrics = obs.NewMetrics(*metEvery)
+	}
+	if *profPath != "" || *flamePath != "" {
+		cfg.Profile = prof.NewProfile()
 	}
 
 	if *bench {
@@ -242,6 +254,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if cfg.Profile != nil {
+		if err := writeProfiles(*profPath, *flamePath, cfg.Profile); err != nil {
+			fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // writeTrace exports the accumulated event trace as Chrome trace-event JSON
@@ -285,6 +303,39 @@ func writeMetrics(path string, m *obs.Metrics) error {
 		samples += c.Samples()
 	}
 	fmt.Fprintf(os.Stderr, "metrics: wrote %s (%d core(s), %d sample(s))\n", path, len(m.Cores()), samples)
+	return nil
+}
+
+// writeProfiles exports the accumulated cycle attribution: a gzipped pprof
+// proto (-profile) and/or folded flamegraph stacks (-flame), reporting what
+// was written on stderr so stdout stays clean for -json pipelines.
+func writeProfiles(profPath, flamePath string, pr *prof.Profile) error {
+	write := func(path, kind string, export func(f *os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := export(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s %s: %w", kind, path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s: wrote %s (%d core(s), %d attributed cycle(s))\n",
+			kind, path, len(pr.Cores()), pr.TotalCycles())
+		return nil
+	}
+	if profPath != "" {
+		if err := write(profPath, "profile", func(f *os.File) error { return pr.WritePprof(f) }); err != nil {
+			return err
+		}
+	}
+	if flamePath != "" {
+		if err := write(flamePath, "flame", func(f *os.File) error { return pr.WriteFolded(f) }); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -433,6 +484,41 @@ func validateObsFlags(exp string, bench bool, trace, metrics string, interval in
 	}
 	if metrics != "" && !metricsExperiments[exp] {
 		return fmt.Errorf("-metrics only samples the serving and observability experiments (serveN, adaptN, obsN, faultN), not %q", exp)
+	}
+	return nil
+}
+
+// profExperiments are the experiment ids with a designated profile cell: the
+// one run per experiment that a non-nil Config.Profile attributes.
+var profExperiments = map[string]bool{
+	"profN":  true,
+	"serveN": true,
+}
+
+// validateProfFlags rejects -profile/-flame combinations that would silently
+// produce an empty export, mirroring validateObsFlags: the profiler records
+// one experiment's designated cell, so it needs exactly one experiment that
+// has one.
+func validateProfFlags(exp string, bench bool, profPath, flamePath string) error {
+	if profPath == "" && flamePath == "" {
+		return nil
+	}
+	var set []string
+	if profPath != "" {
+		set = append(set, "-profile")
+	}
+	if flamePath != "" {
+		set = append(set, "-flame")
+	}
+	s := strings.Join(set, "/")
+	if bench {
+		return fmt.Errorf("%s has no effect with -bench (the benchmark suite runs unprofiled by design)", s)
+	}
+	if exp == "all" {
+		return fmt.Errorf("%s needs a single experiment, not -exp all (each file holds one experiment's designated cell)", s)
+	}
+	if !profExperiments[exp] {
+		return fmt.Errorf("%s only records the profiling experiments (profN, serveN), not %q", s, exp)
 	}
 	return nil
 }

@@ -197,6 +197,64 @@ func TestObsExperimentsRegistered(t *testing.T) {
 	}
 }
 
+// TestValidateProfFlags: -profile/-flame must be rejected whenever they
+// would silently produce an empty export — an experiment without a
+// designated profile cell, -exp all, or the benchmark suite — and accepted
+// for the allowlisted experiments.
+func TestValidateProfFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		exp     string
+		bench   bool
+		prof    string
+		flame   string
+		wantErr string // substring; empty means valid
+	}{
+		{name: "no prof flags", exp: "fig6"},
+		{name: "profN with profile", exp: "profN", prof: "p.pb.gz"},
+		{name: "profN with flame", exp: "profN", flame: "f.txt"},
+		{name: "profN with both", exp: "profN", prof: "p.pb.gz", flame: "f.txt"},
+		{name: "serveN with flame", exp: "serveN", flame: "f.txt"},
+		{name: "profile with fig6", exp: "fig6", prof: "p.pb.gz", wantErr: "-profile only records"},
+		{name: "flame with obsN", exp: "obsN", flame: "f.txt", wantErr: "-flame only records"},
+		{name: "both with adaptN", exp: "adaptN", prof: "p.pb.gz", flame: "f.txt", wantErr: "-profile/-flame only records"},
+		{name: "profile with exp all", exp: "all", prof: "p.pb.gz", wantErr: "not -exp all"},
+		{name: "bench with flame", bench: true, flame: "f.txt", wantErr: "no effect with -bench"},
+		{name: "bench without prof flags", bench: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateProfFlags(tc.exp, tc.bench, tc.prof, tc.flame)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected an error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestProfExperimentsRegistered mirrors the obs allowlist check for the
+// profiling flags: every allowlisted id must exist in the registry and be
+// accepted by the validator.
+func TestProfExperimentsRegistered(t *testing.T) {
+	for id := range profExperiments {
+		if _, ok := experiments.Find(id); !ok {
+			t.Fatalf("profile allowlist entry %q is not a registered experiment", id)
+		}
+		if err := validateProfFlags(id, false, "p.pb.gz", "f.txt"); err != nil {
+			t.Fatalf("profiled experiment %q rejected: %v", id, err)
+		}
+	}
+}
+
 // TestValidateExplicitZero: knobs whose zero value means "use the default"
 // must reject an explicit `-flag 0` on the command line — it would silently
 // behave as if the flag were absent — while an unset flag, a nonzero value,

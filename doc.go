@@ -46,6 +46,14 @@
 //     simulated result byte. Adaptive controllers additionally keep an
 //     always-on structured decision log (AdaptiveInfo.Decisions) answering
 //     "why did this shard switch technique?" without a trace viewer,
+//   - the cycle-attribution profiler (CycleProfile), under the same nil-is-
+//     disabled contract: the memory model charges every simulated cycle to
+//     one category (compute, exposed stall per miss level, TLB, MSHR
+//     pressure, idle) under the context stack the engines push (technique,
+//     stage, probe/exploit epoch, pipeline stage, serving admission), with
+//     exact conservation against the core's cycle counter, hidden-versus-
+//     exposed fill accounting with achieved MLP, and folded-flamegraph and
+//     gzipped-pprof exports keyed on simulated cycles,
 //   - the experiment harness that regenerates every table and figure of the
 //     paper's evaluation (Experiments, RunExperiment; also exposed through
 //     cmd/amacbench).

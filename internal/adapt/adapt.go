@@ -416,9 +416,13 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], ctl *Controller) Info {
 	// caught within a few hundred lookups, long enough to amortise the
 	// segment bookkeeping.
 	segNA := max(cfg.ProbeLookups, cfg.SegmentLookups/4)
+	p := c.Profiler()
 	pos := 0
 	for pos < n {
 		if !ctl.calibrated {
+			// Probe epochs charge under the "probe" frame, so a flamegraph
+			// separates measurement overhead from exploitation.
+			p.Push(p.Frame("probe"))
 			ctl.record(KindProbeStart, ctl.chosen, ctl.chosen, 0)
 			// Warm-up segment: run the incumbent unmeasured first, so the
 			// earliest-probed candidate is not penalised with the phase's
@@ -446,9 +450,11 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], ctl *Controller) Info {
 			if bestCPL > 0 {
 				ctl.calibrate(best, bestCPL, first)
 			}
+			p.Pop()
 			continue
 		}
 		if ctl.chosen == ops.AMAC {
+			p.Push(p.Frame("exploit"))
 			dw := newDriftStop(ctl)
 			seg := exec.Shard[S]{M: m, Lo: pos, N: n - pos}
 			opts := ctl.amacOptions()
@@ -461,6 +467,7 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], ctl *Controller) Info {
 			if dw.stopped {
 				ctl.recalibrate(KindDriftReprobe, dw.lastCPL)
 			}
+			p.Pop()
 			continue
 		}
 		seg := min(segNA, n-pos)
@@ -469,7 +476,9 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], ctl *Controller) Info {
 		// boundary is exactly where a statically-compiled group size CAN
 		// change, so the relaunch is free.
 		win := ctl.groupWindow(ctl.chosen)
+		p.Push(p.Frame("exploit"))
 		cpl := runSegmentW(c, m, ctl, ctl.chosen, pos, seg, win)
+		p.Pop()
 		pos += seg
 		ctl.observeGroup(ctl.chosen, cpl)
 		ctl.observe(cpl)

@@ -192,8 +192,12 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
 
 	// All trace methods are nil-safe no-ops, so the event sites below run
 	// unconditionally; the disabled path pays an inlined nil check and zero
-	// allocations (see the traced-vs-untraced benchmark pair).
+	// allocations (see the traced-vs-untraced benchmark pair). The profiler
+	// follows the same contract.
 	tr := opts.Trace
+	p := c.Profiler()
+	p.Push(p.Frame("AMAC"))
+	defer p.Pop()
 
 	var stats RunStats
 	stats.Width = width
@@ -247,7 +251,9 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
 	for k := 0; k < width && next < n; k++ {
 		admitAt := c.Cycle()
 		c.Instr(CostStateSwap)
+		p.PushStage(0)
 		out := m.Init(c, &states[k], next)
+		p.Pop()
 		next++
 		stats.Initiated++
 		issue(c, out)
@@ -298,7 +304,9 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
 			if k < admit && next < n {
 				admitAt := c.Cycle()
 				c.Instr(CostStateSwap)
+				p.PushStage(0)
 				out := m.Init(c, &states[k], next)
+				p.Pop()
 				next++
 				stats.Initiated++
 				issue(c, out)
@@ -321,7 +329,9 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
 		stage := s.stage
 		visitAt := c.Cycle()
 		c.Instr(CostStateSwap)
+		p.PushStage(stage)
 		out := m.Stage(c, &states[k], stage)
+		p.Pop()
 		stats.StageVisits++
 		if out.Retry {
 			// Latch held by another in-flight lookup: remember the stage to
@@ -361,7 +371,9 @@ func Run[S any](c *memsim.Core, m exec.Machine[S], opts Options) RunStats {
 		} else if !opts.DisableImmediateRefill && next < n {
 			admitAt := c.Cycle()
 			c.Instr(CostStateSwap)
+			p.PushStage(0)
 			out := m.Init(c, &states[k], next)
+			p.Pop()
 			next++
 			stats.Initiated++
 			issue(c, out)

@@ -202,7 +202,10 @@ func (e *StreamEngine[S]) tryFill(k int) bool {
 	}
 	pullAt := c.Cycle()
 	c.Instr(CostStateSwap)
+	p := c.Profiler()
+	p.PushStage(0)
 	pr := e.src.Pull(c, &e.states[k], c.Cycle())
+	p.Pop()
 	switch pr.Status {
 	case exec.Exhausted:
 		e.exhausted = true
@@ -284,6 +287,9 @@ func (e *StreamEngine[S]) Run(limit uint64) bool {
 		return true
 	}
 	c := e.c
+	p := c.Profiler()
+	p.Push(p.Frame("AMAC"))
+	defer p.Pop()
 	for {
 		if c.Cycle() >= limit {
 			return false
@@ -322,11 +328,15 @@ func (e *StreamEngine[S]) Run(limit uint64) bool {
 				}
 				// Nothing in flight and nothing admitted: sleep until the
 				// next arrival — or the pause bound, whichever is earlier.
+				// The wait is queue idle, charged under the admit frame.
+				p.Push(p.Frame("admit"))
 				if e.waitUntil > limit {
 					c.AdvanceTo(limit)
+					p.Pop()
 					return false
 				}
 				c.AdvanceTo(e.waitUntil)
+				p.Pop()
 				continue
 			}
 			e.k++
@@ -353,7 +363,9 @@ func (e *StreamEngine[S]) Run(limit uint64) bool {
 		stage := s.stage
 		visitAt := c.Cycle()
 		c.Instr(CostStateSwap)
+		p.PushStage(stage)
 		out := e.src.Stage(c, &e.states[k], stage)
+		p.Pop()
 		e.stats.StageVisits++
 		if out.Retry {
 			s.stage = out.NextStage

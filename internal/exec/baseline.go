@@ -17,15 +17,22 @@ import (
 // left held by a previous phase, which the machines never do, so the spin
 // loop is bounded defensively.
 func Baseline[S any](c *memsim.Core, m Machine[S]) {
+	p := c.Profiler()
+	p.Push(p.Frame("Baseline"))
+	defer p.Pop()
 	n := m.NumLookups()
 	var s S
 	for i := 0; i < n; i++ {
 		c.Instr(CostLoopIter)
+		p.PushStage(0)
 		out := m.Init(c, &s, i)
+		p.Pop()
 		spins := 0
 		for !out.Done {
 			c.Instr(CostLoopIter)
+			p.PushStage(out.NextStage)
 			next := m.Stage(c, &s, out.NextStage)
+			p.Pop()
 			if next.Retry {
 				spins++
 				c.Instr(CostRetrySpin)

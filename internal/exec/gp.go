@@ -18,6 +18,9 @@ import "amac/internal/memsim"
 //     stages and, if still blocked, is also handled by the clean-up pass,
 //   - a new group can only start once the previous group has fully finished.
 func GroupPrefetch[S any](c *memsim.Core, m Machine[S], group int) {
+	p := c.Profiler()
+	p.Push(p.Frame("GP"))
+	defer p.Pop()
 	if group < 1 {
 		group = 1
 	}
@@ -43,7 +46,9 @@ func GroupPrefetch[S any](c *memsim.Core, m Machine[S], group int) {
 		// the first target addresses, issue the first prefetches.
 		for j := 0; j < g; j++ {
 			c.Instr(CostGPStage)
+			p.PushStage(0)
 			out := m.Init(c, &states[j], base+j)
+			p.Pop()
 			issuePrefetch(c, out)
 			current[j] = out
 			done[j] = out.Done
@@ -60,7 +65,9 @@ func GroupPrefetch[S any](c *memsim.Core, m Machine[S], group int) {
 					continue
 				}
 				c.Instr(CostGPStage)
+				p.PushStage(current[j].NextStage)
 				out := m.Stage(c, &states[j], current[j].NextStage)
+				p.Pop()
 				if out.Retry {
 					// Latch held by another in-flight lookup: burn the
 					// stage and retry in the next round (or the clean-up
@@ -88,6 +95,9 @@ func GroupPrefetch[S any](c *memsim.Core, m Machine[S], group int) {
 // onDone, if non-nil, observes each completion (the streaming GP adapter
 // records per-request latency there); stage is the machine's Stage method.
 func finishSequential[S any](c *memsim.Core, stage func(*memsim.Core, *S, int) Outcome, states []S, current []Outcome, done []bool, onDone func(j int)) {
+	p := c.Profiler()
+	p.Push(p.Frame("cleanup"))
+	defer p.Pop()
 	remaining := 0
 	for j := range done {
 		if !done[j] {
@@ -103,7 +113,9 @@ func finishSequential[S any](c *memsim.Core, stage func(*memsim.Core, *S, int) O
 				continue
 			}
 			c.Instr(CostLoopIter)
+			p.PushStage(current[j].NextStage)
 			out := stage(c, &states[j], current[j].NextStage)
+			p.Pop()
 			if out.Retry {
 				c.Instr(CostRetrySpin)
 				current[j].NextStage = out.NextStage

@@ -40,6 +40,9 @@ func getBatchPipeSlots(n int) *[]batchPipeSlot {
 //   - a lookup that cannot acquire a latch burns pipeline stages retrying
 //     and is eventually serialized on the same side path.
 func SoftwarePipeline[S any](c *memsim.Core, m Machine[S], inflight int) {
+	p := c.Profiler()
+	p.Push(p.Frame("SPP"))
+	defer p.Pop()
 	if inflight < 1 {
 		inflight = 1
 	}
@@ -74,7 +77,9 @@ func SoftwarePipeline[S any](c *memsim.Core, m Machine[S], inflight int) {
 					continue
 				}
 				c.Instr(CostSPPStage)
+				p.PushStage(0)
 				out := m.Init(c, &states[j], next)
+				p.Pop()
 				next++
 				issuePrefetch(c, out)
 				slot.busy = true
@@ -94,7 +99,9 @@ func SoftwarePipeline[S any](c *memsim.Core, m Machine[S], inflight int) {
 				}
 			default:
 				c.Instr(CostSPPStage)
+				p.PushStage(slot.current.NextStage)
 				out := m.Stage(c, &states[j], slot.current.NextStage)
+				p.Pop()
 				slot.age++
 				if out.Retry {
 					slot.current.NextStage = out.NextStage
@@ -127,7 +134,11 @@ func SoftwarePipeline[S any](c *memsim.Core, m Machine[S], inflight int) {
 		keep := 0
 		for b := 0; b < len(bailStates); b++ {
 			c.Instr(CostLoopIter)
+			p.Push(p.Frame("bail"))
+			p.PushStage(bailCurrent[b].NextStage)
 			out := m.Stage(c, &bailStates[b], bailCurrent[b].NextStage)
+			p.Pop()
+			p.Pop()
 			switch {
 			case out.Retry:
 				c.Instr(CostRetrySpin)

@@ -66,16 +66,24 @@ func BaselineStream[S any](c *memsim.Core, src Source[S]) {
 // methods are nil-safe, so BaselineStream delegates here with nil and stays
 // allocation-free.
 func BaselineStreamTraced[S any](c *memsim.Core, src Source[S], tr *obs.CoreTrace) {
+	p := c.Profiler()
+	p.Push(p.Frame("Baseline"))
+	defer p.Pop()
+	admitF := p.Frame("admit")
 	var s S
 	for {
 		pullAt := c.Cycle()
 		c.Instr(CostLoopIter)
+		p.PushStage(0)
 		pr := src.Pull(c, &s, c.Cycle())
+		p.Pop()
 		switch pr.Status {
 		case Exhausted:
 			return
 		case Wait:
+			p.Push(admitF)
 			c.AdvanceTo(waitCycle(c.Cycle(), pr.NextArrival))
+			p.Pop()
 			continue
 		}
 		tr.SlotStart(pullAt, 0, pr.Req.Index)
@@ -83,7 +91,9 @@ func BaselineStreamTraced[S any](c *memsim.Core, src Source[S], tr *obs.CoreTrac
 		spins := 0
 		for !out.Done {
 			c.Instr(CostLoopIter)
+			p.PushStage(out.NextStage)
 			next := src.Stage(c, &s, out.NextStage)
+			p.Pop()
 			if next.Retry {
 				spins++
 				c.Instr(CostRetrySpin)
@@ -121,6 +131,10 @@ func GroupPrefetchStream[S any](c *memsim.Core, src Source[S], group int) {
 // on the slot track of its group position. Nil tracer keeps the untraced
 // behaviour and allocation profile.
 func GroupPrefetchStreamTraced[S any](c *memsim.Core, src Source[S], group int, tr *obs.CoreTrace) {
+	p := c.Profiler()
+	p.Push(p.Frame("GP"))
+	defer p.Pop()
+	admitF := p.Frame("admit")
 	if group < 1 {
 		group = 1
 	}
@@ -136,14 +150,20 @@ func GroupPrefetchStreamTraced[S any](c *memsim.Core, src Source[S], group int, 
 	current, done, reqs := *currentP, *doneP, *reqsP
 
 	for {
-		// Admission: gather the group from whatever the queue holds now.
+		// Admission: gather the group from whatever the queue holds now. The
+		// whole gather runs under the "admit" frame so the batch-boundary idle
+		// GP accrues between groups shows up as GP;admit idle in a flamegraph.
+		p.Push(admitF)
 		g := 0
 		for g < group {
 			pullAt := c.Cycle()
 			c.Instr(CostGPStage)
+			p.PushStage(0)
 			pr := src.Pull(c, &states[g], c.Cycle())
+			p.Pop()
 			if pr.Status == Exhausted {
 				if g == 0 {
+					p.Pop()
 					return
 				}
 				break
@@ -169,6 +189,7 @@ func GroupPrefetchStreamTraced[S any](c *memsim.Core, src Source[S], group int, 
 			}
 			g++
 		}
+		p.Pop()
 
 		// Code stages 1..depth-1, each executed for the whole group.
 		for round := 1; round < depth; round++ {
@@ -180,7 +201,9 @@ func GroupPrefetchStreamTraced[S any](c *memsim.Core, src Source[S], group int, 
 				stage := current[j].NextStage
 				visitAt := c.Cycle()
 				c.Instr(CostGPStage)
+				p.PushStage(stage)
 				out := src.Stage(c, &states[j], stage)
+				p.Pop()
 				if out.Retry {
 					current[j].NextStage = out.NextStage
 					current[j].Prefetch = 0
@@ -226,6 +249,10 @@ func SoftwarePipelineStream[S any](c *memsim.Core, src Source[S], inflight int) 
 // per-completion refill in a trace viewer. Nil tracer keeps the untraced
 // behaviour and allocation profile.
 func SoftwarePipelineStreamTraced[S any](c *memsim.Core, src Source[S], inflight int, tr *obs.CoreTrace) {
+	p := c.Profiler()
+	p.Push(p.Frame("SPP"))
+	defer p.Pop()
+	admitF := p.Frame("admit")
 	if inflight < 1 {
 		inflight = 1
 	}
@@ -259,7 +286,9 @@ func SoftwarePipelineStreamTraced[S any](c *memsim.Core, src Source[S], inflight
 			// Nothing in flight, nothing admitted, and a pull already
 			// reported Wait: idle to the arrival. (Never idle before the
 			// first pull attempt — requests may be ready at cycle 0.)
+			p.Push(admitF)
 			c.AdvanceTo(waitUntil)
+			p.Pop()
 		}
 		for j := 0; j < inflight; j++ {
 			slot := &slots[j]
@@ -270,7 +299,9 @@ func SoftwarePipelineStreamTraced[S any](c *memsim.Core, src Source[S], inflight
 				}
 				pullAt := c.Cycle()
 				c.Instr(CostSPPStage)
+				p.PushStage(0)
 				pr := src.Pull(c, &states[j], c.Cycle())
+				p.Pop()
 				if pr.Status == Exhausted {
 					exhausted = true
 					continue
@@ -304,7 +335,9 @@ func SoftwarePipelineStreamTraced[S any](c *memsim.Core, src Source[S], inflight
 				stage := slot.current.NextStage
 				visitAt := c.Cycle()
 				c.Instr(CostSPPStage)
+				p.PushStage(stage)
 				out := src.Stage(c, &states[j], stage)
+				p.Pop()
 				slot.age++
 				if out.Retry {
 					slot.current.NextStage = out.NextStage
@@ -339,7 +372,11 @@ func SoftwarePipelineStreamTraced[S any](c *memsim.Core, src Source[S], inflight
 		keep := 0
 		for b := 0; b < len(bailStates); b++ {
 			c.Instr(CostLoopIter)
+			p.Push(p.Frame("bail"))
+			p.PushStage(bailCurrent[b].NextStage)
 			out := src.Stage(c, &bailStates[b], bailCurrent[b].NextStage)
+			p.Pop()
+			p.Pop()
 			switch {
 			case out.Retry:
 				c.Instr(CostRetrySpin)

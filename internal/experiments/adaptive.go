@@ -429,7 +429,7 @@ func adaptServeTable(cfg Config, machine memsim.Config) *profile.Table {
 			cells = append(cells, cell{load, tech.String()})
 			tasks = append(tasks, func(e *sweepEnv) serve.Result {
 				sj := e.wl.servingJoin(spec, workers, runs)
-				return runServe(serveCfg, sj, runIdx, machine, workers, tech, load, capacity, policy, nil, nil, nil)
+				return runServe(serveCfg, sj, runIdx, machine, workers, tech, load, capacity, policy, nil, nil, nil, nil)
 			})
 		}
 		load, runIdx := load, 1+len(cells)
@@ -444,7 +444,7 @@ func adaptServeTable(cfg Config, machine memsim.Config) *profile.Table {
 			if load == 0.9 {
 				tr, met = cfg.Trace, cfg.Metrics
 			}
-			return runServe(serveCfg, sj, runIdx, machine, workers, ops.AMAC, load, capacity, policy, &acfg, tr, met)
+			return runServe(serveCfg, sj, runIdx, machine, workers, ops.AMAC, load, capacity, policy, &acfg, tr, met, nil)
 		})
 	}
 	for i, res := range runSweep(cfg, tasks) {

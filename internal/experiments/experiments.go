@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"amac/internal/obs"
+	"amac/internal/prof"
 	"amac/internal/profile"
 )
 
@@ -102,6 +103,12 @@ type Config struct {
 	// designated cell (obsN and the serving experiments). Purely
 	// observational, like Trace.
 	Metrics *obs.Metrics
+	// Profile, if non-nil, collects an exact cycle-attribution profile from
+	// one designated cell per experiment — profN's batch and serving phases,
+	// serveN's AMAC cell at 90% load — for flamegraph/pprof export. Purely
+	// observational, like Trace: every table is byte-identical with or
+	// without it.
+	Profile *prof.Profile
 }
 
 func (c Config) scale() Scale {

@@ -7,6 +7,7 @@ import (
 	"amac/internal/memsim"
 	"amac/internal/obs"
 	"amac/internal/ops"
+	"amac/internal/prof"
 	"amac/internal/profile"
 	"amac/internal/relation"
 	"amac/internal/serve"
@@ -133,14 +134,15 @@ func serveN(cfg Config) []*profile.Table {
 			tasks = append(tasks, func(e *sweepEnv) serve.Result {
 				sj := e.wl.servingJoin(spec, workers, runs)
 				// The AMAC cell at 90% load is serveN's designated trace cell:
-				// the decisive row, traced exactly once so the export is
-				// deterministic under -parallel.
+				// the decisive row, traced (and profiled) exactly once so the
+				// export is deterministic under -parallel.
 				var tr *obs.Trace
 				var met *obs.Metrics
+				var pr *prof.Profile
 				if tech == ops.AMAC && load == 0.9 {
-					tr, met = cfg.Trace, cfg.Metrics
+					tr, met, pr = cfg.Trace, cfg.Metrics, cfg.Profile
 				}
-				return runServe(cfg, sj, runIdx, machine, workers, tech, load, capacity, policy, nil, tr, met)
+				return runServe(cfg, sj, runIdx, machine, workers, tech, load, capacity, policy, nil, tr, met, pr)
 			})
 		}
 	}
@@ -173,7 +175,7 @@ func serveN(cfg Config) []*profile.Table {
 // for an experiment's designated trace cell, attach the observability sinks.
 func runServe(cfg Config, sj *servingJoin, run int, machine memsim.Config, workers int,
 	tech ops.Technique, load, capacity float64, policy serve.Policy, adaptive *adapt.Config,
-	tr *obs.Trace, met *obs.Metrics) serve.Result {
+	tr *obs.Trace, met *obs.Metrics, pr *prof.Profile) serve.Result {
 	pj := sj.pj
 	totalTuples := pj.ProbeTuples()
 	outs := sj.outs[run]
@@ -203,6 +205,7 @@ func runServe(cfg Config, sj *servingJoin, run int, machine memsim.Config, worke
 		Adaptive:  adaptive,
 		Trace:     tr,
 		Metrics:   met,
+		Profile:   pr,
 	}, specs)
 }
 

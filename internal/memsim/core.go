@@ -1,6 +1,10 @@
 package memsim
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"amac/internal/prof"
+)
 
 // Core simulates one hardware thread: it owns a private L1-D and L2, shares
 // the L3 and off-chip queue of its System, and accounts both compute
@@ -76,6 +80,12 @@ type Core struct {
 	hookStep uint64
 	hookNext uint64
 
+	// prof, when non-nil, receives one charge for every cycle the clock
+	// advances (SetProfiler). All charge calls are nil-safe single-branch
+	// no-ops when disabled; attaching a profiler cannot change simulated
+	// results because the profiler only observes.
+	prof *prof.CoreProf
+
 	stats Stats
 }
 
@@ -124,6 +134,19 @@ func (c *Core) SetCycleHook(step uint64, fn func(cycle uint64)) {
 	c.hookStep = step
 	c.hookNext = c.cycle + step
 }
+
+// SetProfiler attaches a cycle-attribution profiler: every subsequent clock
+// advance charges its cycles to the profiler's current context under one
+// prof.Cat category, so the per-category sums reconcile exactly with Stats
+// total cycles. A nil profiler (the default) disables attribution at the
+// cost of one predictable branch per advance. Like the cycle hook, the
+// profiler only observes — attaching one never changes simulated results.
+func (c *Core) SetProfiler(p *prof.CoreProf) { c.prof = p }
+
+// Profiler returns the attached profiler, nil when disabled. Execution
+// engines fetch it to push attribution context frames (technique, stage)
+// around their work; all frame operations are nil-safe.
+func (c *Core) Profiler() *prof.CoreProf { return c.prof }
 
 // fireHook runs the cycle hook for every step boundary the clock has
 // crossed. Kept out of line so the advancing fast paths stay small.
@@ -268,6 +291,9 @@ func (c *Core) ResetStats() {
 	c.cycle = 0
 	c.instrAcc = 0
 	c.mshr.Reset()
+	// Attribution restarts with the clock, keeping the conservation
+	// invariant (profiler totals == Stats.Cycles) across the reset.
+	c.prof.ResetCounts()
 	if c.hookFn != nil {
 		// The clock restarted; re-arm the hook at its first boundary.
 		c.hookNext = c.hookStep
@@ -297,6 +323,7 @@ func (c *Core) Reset() {
 	c.hookFn = nil
 	c.hookStep = 0
 	c.hookNext = ^uint64(0)
+	c.prof = nil
 	c.memLat = c.cfg.MemLatencyCycles
 }
 
@@ -374,15 +401,18 @@ func (c *Core) Instr(n int) {
 	}
 	c.instrAcc -= adv * c.cpiDen
 	c.cycle += adv
+	c.prof.Charge(prof.CatCompute, adv)
 	if c.cycle >= c.hookNext {
 		c.fireHook()
 	}
 }
 
-// advance moves the clock forward by stall cycles (memory time).
-func (c *Core) advance(cycles uint64) {
+// advance moves the clock forward by stall cycles (memory time), attributing
+// them to the given category.
+func (c *Core) advance(cycles uint64, cat prof.Cat) {
 	c.cycle += cycles
 	c.stats.StallCycles += cycles
+	c.prof.Charge(cat, cycles)
 	if c.cycle >= c.hookNext {
 		c.fireHook()
 	}
@@ -399,6 +429,7 @@ func (c *Core) AdvanceTo(target uint64) {
 		return
 	}
 	c.stats.IdleCycles += target - c.cycle
+	c.prof.Charge(prof.CatIdle, target-c.cycle)
 	c.cycle = target
 	if c.cycle >= c.hookNext {
 		c.fireHook()
@@ -426,7 +457,7 @@ func (c *Core) drainMSHRs() {
 func (c *Core) translate(a Addr) {
 	if !c.tlb.Translate(a) {
 		c.stats.TLBMisses++
-		c.advance(c.tlb.Penalty())
+		c.advance(c.tlb.Penalty(), prof.CatTLB)
 	}
 }
 
@@ -439,17 +470,18 @@ func (c *Core) hidden(stall uint64) uint64 {
 }
 
 // missLatency determines where a line's data lives (L2, L3 or memory) and
-// returns the total fill latency from the L1 miss, along with whether the
-// fill comes from off-chip. Lower-level lookups update those caches' hit
-// statistics and recency, mirroring an inclusive hierarchy.
-func (c *Core) missLatency(line uint64) (lat uint64, offchip bool) {
+// returns the total fill latency from the L1 miss, along with the
+// attribution category of the fill level (CatDRAM means off-chip). Lower-
+// level lookups update those caches' hit statistics and recency, mirroring
+// an inclusive hierarchy.
+func (c *Core) missLatency(line uint64) (lat uint64, src prof.Cat) {
 	if c.l2.Lookup(line) {
 		c.stats.L2Hits++
-		return c.l2.Latency(), false
+		return c.l2.Latency(), prof.CatL2
 	}
 	if c.l3.Lookup(line) {
 		c.stats.L3Hits++
-		return c.l2.Latency() + c.l3.Latency(), false
+		return c.l2.Latency() + c.l3.Latency(), prof.CatLLC
 	}
 	c.stats.MemAccesses++
 	outstanding := c.mshr.OutstandingOffchip() + 1
@@ -460,7 +492,8 @@ func (c *Core) missLatency(line uint64) (lat uint64, offchip bool) {
 	}
 	mem := c.fabric.OffchipLatency(c.memLat, c.offchipDemand)
 	c.stats.OffchipQueueExtra += mem - c.memLat
-	return c.l2.Latency() + c.l3.Latency() + mem, true
+	c.prof.OffchipFill(mem)
+	return c.l2.Latency() + c.l3.Latency() + mem, prof.CatDRAM
 }
 
 // waitForMSHR stalls until at least one MSHR is free, draining completions.
@@ -474,7 +507,7 @@ func (c *Core) waitForMSHR() {
 			wait := ready - c.cycle
 			c.stats.MSHRFullStalls++
 			c.stats.MSHRFullWaitCycles += wait
-			c.advance(wait)
+			c.advance(wait, prof.CatMSHRFull)
 		}
 		c.drainMSHRs()
 	}
@@ -487,18 +520,23 @@ func (c *Core) demandLine(line uint64) {
 
 	if c.l1.Lookup(line) {
 		c.stats.L1Hits++
-		c.advance(c.hidden(c.l1.Latency()))
+		c.advance(c.hidden(c.l1.Latency()), prof.CatL1)
 		return
 	}
 
 	// The line may already be in flight thanks to an earlier prefetch: the
-	// access waits only for the remaining latency (an "MSHR hit").
+	// access waits only for the remaining latency (an "MSHR hit"). The wait
+	// is attributed to the in-flight fill's level, and the visible part is
+	// latency the prefetch failed to hide — Expose claws it back from the
+	// Hide the prefetch recorded at allocation.
 	if e := c.mshr.Lookup(line); e != nil {
 		c.stats.MSHRHits++
 		if e.ready > c.cycle {
 			wait := e.ready - c.cycle
 			c.stats.MSHRHitWaitCycles += wait
-			c.advance(c.hidden(wait))
+			visible := c.hidden(wait)
+			c.advance(visible, e.cat)
+			c.prof.Expose(e.cat, visible)
 			// The data has now (logically) arrived even if hiding
 			// shortened the visible stall.
 			c.mshr.Expedite(e, c.cycle)
@@ -510,9 +548,14 @@ func (c *Core) demandLine(line uint64) {
 		return
 	}
 
-	// True miss: block for the full fill latency.
-	lat, _ := c.missLatency(line)
-	c.advance(c.hidden(c.l1.Latency() + lat))
+	// True miss: block for the full fill latency. The out-of-order window's
+	// contribution (total minus visible) counts as hidden latency at the
+	// fill level.
+	lat, src := c.missLatency(line)
+	tot := c.l1.Latency() + lat
+	visible := c.hidden(tot)
+	c.advance(visible, src)
+	c.prof.Hide(src, tot-visible)
 	c.fill(line)
 }
 
@@ -573,8 +616,11 @@ func (c *Core) Prefetch(a Addr) {
 
 	c.waitForMSHR()
 	c.drainMSHRs()
-	lat, offchip := c.missLatency(line)
-	c.mshr.Allocate(line, c.cycle+lat, offchip)
+	lat, src := c.missLatency(line)
+	c.mshr.Allocate(line, c.cycle+lat, src)
+	// The whole fill latency is scheduled off the critical path; any part a
+	// demand access later waits out is Exposed on the MSHR-hit path.
+	c.prof.Hide(src, lat)
 	c.stats.PrefetchIssued++
 }
 

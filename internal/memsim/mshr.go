@@ -1,10 +1,13 @@
 package memsim
 
+import "amac/internal/prof"
+
 // mshrEntry tracks one outstanding L1-D miss.
 type mshrEntry struct {
 	line    uint64
-	ready   uint64 // cycle at which the fill arrives
-	offchip bool   // true if the fill comes from memory (occupies the LLC queue)
+	ready   uint64   // cycle at which the fill arrives
+	cat     prof.Cat // attribution category of the fill level (CatDRAM = off-chip)
+	offchip bool     // true if the fill comes from memory (occupies the LLC queue)
 	valid   bool
 }
 
@@ -79,12 +82,15 @@ func (m *MSHRFile) Expedite(e *mshrEntry, ready uint64) {
 	}
 }
 
-// Allocate records a new outstanding miss. It returns false if every entry is
-// busy; the caller must stall until EarliestReady and drain before retrying.
-func (m *MSHRFile) Allocate(line, ready uint64, offchip bool) bool {
+// Allocate records a new outstanding miss whose fill comes from the level
+// src identifies (prof.CatDRAM marks an off-chip fill, which occupies the
+// shared LLC queue). It returns false if every entry is busy; the caller
+// must stall until EarliestReady and drain before retrying.
+func (m *MSHRFile) Allocate(line, ready uint64, src prof.Cat) bool {
+	offchip := src == prof.CatDRAM
 	for i := range m.entries {
 		if !m.entries[i].valid {
-			m.entries[i] = mshrEntry{line: line, ready: ready, offchip: offchip, valid: true}
+			m.entries[i] = mshrEntry{line: line, ready: ready, cat: src, offchip: offchip, valid: true}
 			if m.outstanding == 0 || ready < m.minReady {
 				m.minReady = ready
 			}

@@ -1,6 +1,10 @@
 package memsim
 
-import "testing"
+import (
+	"testing"
+
+	"amac/internal/prof"
+)
 
 func TestMSHRAllocateUntilFull(t *testing.T) {
 	m := NewMSHRFile(3)
@@ -8,14 +12,14 @@ func TestMSHRAllocateUntilFull(t *testing.T) {
 		t.Fatalf("Size = %d, want 3", m.Size())
 	}
 	for i := uint64(0); i < 3; i++ {
-		if !m.Allocate(i, 100+i, false) {
+		if !m.Allocate(i, 100+i, prof.CatLLC) {
 			t.Fatalf("allocation %d failed unexpectedly", i)
 		}
 	}
 	if !m.Full() {
 		t.Fatal("file should be full")
 	}
-	if m.Allocate(99, 50, false) {
+	if m.Allocate(99, 50, prof.CatLLC) {
 		t.Fatal("allocation should fail when full")
 	}
 	if m.Outstanding() != 3 {
@@ -25,7 +29,7 @@ func TestMSHRAllocateUntilFull(t *testing.T) {
 
 func TestMSHRLookup(t *testing.T) {
 	m := NewMSHRFile(2)
-	m.Allocate(7, 42, true)
+	m.Allocate(7, 42, prof.CatDRAM)
 	e := m.Lookup(7)
 	if e == nil || e.ready != 42 || !e.offchip {
 		t.Fatalf("Lookup(7) = %+v", e)
@@ -37,9 +41,9 @@ func TestMSHRLookup(t *testing.T) {
 
 func TestMSHREarliestReadyAndDrain(t *testing.T) {
 	m := NewMSHRFile(4)
-	m.Allocate(1, 100, false)
-	m.Allocate(2, 50, true)
-	m.Allocate(3, 200, false)
+	m.Allocate(1, 100, prof.CatLLC)
+	m.Allocate(2, 50, prof.CatDRAM)
+	m.Allocate(3, 200, prof.CatLLC)
 
 	ready, ok := m.EarliestReady()
 	if !ok || ready != 50 {
@@ -66,9 +70,9 @@ func TestMSHREarliestReadyAndDrain(t *testing.T) {
 
 func TestMSHROutstandingOffchip(t *testing.T) {
 	m := NewMSHRFile(4)
-	m.Allocate(1, 10, true)
-	m.Allocate(2, 10, false)
-	m.Allocate(3, 10, true)
+	m.Allocate(1, 10, prof.CatDRAM)
+	m.Allocate(2, 10, prof.CatLLC)
+	m.Allocate(3, 10, prof.CatDRAM)
 	if got := m.OutstandingOffchip(); got != 2 {
 		t.Fatalf("OutstandingOffchip = %d, want 2", got)
 	}

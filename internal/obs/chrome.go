@@ -103,6 +103,17 @@ func (c *CoreTrace) writeChrome(enc *chromeEncoder) error {
 	if err := meta("thread_name", "engine", tidEngine); err != nil {
 		return err
 	}
+	// Ring honesty: when wrap-around overwrote events, say so in the export
+	// itself — a reader of the JSON alone must be able to tell a complete
+	// trace from the tail of one.
+	if d := c.Dropped(); d > 0 {
+		if err := enc.emit(chromeEvent{
+			Name: "dropped_events", Ph: "M", Pid: c.pid, Tid: 0,
+			Args: map[string]any{"dropped": d, "retained": c.Len()},
+		}); err != nil {
+			return err
+		}
+	}
 	// Name each slot track that actually recorded events, and guard B/E
 	// balance per track (a ring wrap can orphan end events).
 	slots := map[int32]bool{}

@@ -186,6 +186,29 @@ func (l *LatencyWindow) Record(v uint64) {
 	}
 }
 
+// Merge folds another window's held observations into l, oldest-first, as if
+// each had been Recorded here — the per-worker-to-service aggregation path.
+// Merging nil or an empty window is a no-op; when the combined count exceeds
+// l's capacity the oldest observations evict as usual, so the result is the
+// most recent capacity-many of l's history followed by o's.
+func (l *LatencyWindow) Merge(o *LatencyWindow) {
+	if l == nil || o == nil || o.n == 0 {
+		return
+	}
+	if o.n < len(o.buf) {
+		for _, v := range o.buf[:o.n] {
+			l.Record(v)
+		}
+		return
+	}
+	for _, v := range o.buf[o.head:] {
+		l.Record(v)
+	}
+	for _, v := range o.buf[:o.head] {
+		l.Record(v)
+	}
+}
+
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of the windowed latencies,
 // zero when empty. The window is small; an exact sort is cheaper than
 // maintaining a sketch.

@@ -43,6 +43,7 @@ func TestDisabledObservabilityZeroAlloc(t *testing.T) {
 		cm.Tick(100)
 		_ = m.Interval()
 		lw.Record(42)
+		lw.Merge(nil)
 		_ = lw.Quantile(0.99)
 	})
 	if allocs != 0 {
@@ -214,6 +215,51 @@ func TestWriteChromeSchemaRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWriteChromeDroppedMetadata forces ring overflow and checks the export
+// declares the loss: a dropped_events metadata record carrying the overwrite
+// count and the retained length, so a reader of the JSON alone can tell a
+// complete trace from the tail of one. A non-overflowed core must not carry
+// the record.
+func TestWriteChromeDroppedMetadata(t *testing.T) {
+	tr := NewTrace(8)
+	full := tr.Core("full")
+	for i := 0; i < 20; i++ {
+		full.QueueDepth(uint64(i), i)
+	}
+	intact := tr.Core("intact")
+	intact.QueueDepth(0, 1)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	found := map[int]bool{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "M" || ev.Name != "dropped_events" {
+			continue
+		}
+		found[ev.Pid] = true
+		if got := ev.Args["dropped"]; got != float64(12) {
+			t.Fatalf("dropped = %v, want 12", got)
+		}
+		if got := ev.Args["retained"]; got != float64(8) {
+			t.Fatalf("retained = %v, want 8", got)
+		}
+	}
+	fullPid, intactPid := tr.Cores()[0], tr.Cores()[1]
+	_ = intactPid
+	if len(found) != 1 {
+		t.Fatalf("dropped_events records on %d cores, want exactly 1 (the overflowed one)", len(found))
+	}
+	if fullPid.Dropped() != 12 {
+		t.Fatalf("Dropped = %d, want 12", fullPid.Dropped())
+	}
+}
+
 // TestWriteChromeElidesOrphanedEnds wraps the ring past a begin event and
 // checks the matching end is dropped rather than exported unbalanced.
 func TestWriteChromeElidesOrphanedEnds(t *testing.T) {
@@ -309,5 +355,81 @@ func TestLatencyWindowQuantile(t *testing.T) {
 	}
 	if got := lw.Quantile(0.5); got < 30 || got > 40 {
 		t.Fatalf("median = %d, want 30..40", got)
+	}
+}
+
+// TestLatencyWindowSingleSlot covers a window shorter than its sample stream:
+// at size 1 every Record evicts the previous observation, so the window is
+// always exactly the latest sample.
+func TestLatencyWindowSingleSlot(t *testing.T) {
+	lw := NewLatencyWindow(1)
+	for _, v := range []uint64{10, 20, 30} {
+		lw.Record(v)
+		if got := lw.Quantile(0); got != v {
+			t.Fatalf("q0 after Record(%d) = %d, want %d", v, got, v)
+		}
+		if got := lw.Quantile(1); got != v {
+			t.Fatalf("q1 after Record(%d) = %d, want %d", v, got, v)
+		}
+	}
+}
+
+// TestLatencyWindowExactBoundaryEviction records exactly capacity samples —
+// the fill boundary, where head wraps to zero — and checks the window still
+// holds all of them, then evicts precisely one per further Record.
+func TestLatencyWindowExactBoundaryEviction(t *testing.T) {
+	lw := NewLatencyWindow(4)
+	for _, v := range []uint64{10, 20, 30, 40} { // exactly full: head wrapped
+		lw.Record(v)
+	}
+	if got := lw.Quantile(0); got != 10 {
+		t.Fatalf("q0 at exact fill = %d, want 10 (nothing evicted yet)", got)
+	}
+	lw.Record(50) // first eviction: 10 out
+	if got := lw.Quantile(0); got != 20 {
+		t.Fatalf("q0 after one past the boundary = %d, want 20", got)
+	}
+	if got := lw.Quantile(1); got != 50 {
+		t.Fatalf("q1 after one past the boundary = %d, want 50", got)
+	}
+}
+
+// TestLatencyWindowMerge covers the per-worker aggregation path: empty-into-
+// empty and empty-into-full no-op, a wrapped source merges oldest-first, and
+// a merge that overflows the destination evicts the destination's oldest.
+func TestLatencyWindowMerge(t *testing.T) {
+	dst := NewLatencyWindow(4)
+	dst.Merge(NewLatencyWindow(4)) // empty into empty
+	if got := dst.Quantile(0.99); got != 0 {
+		t.Fatalf("merge of empty windows left q99 = %d, want 0", got)
+	}
+	dst.Record(10)
+	dst.Merge(NewLatencyWindow(4)) // empty into non-empty
+	if got := dst.Quantile(1); got != 10 {
+		t.Fatalf("empty merge disturbed the window: q1 = %d, want 10", got)
+	}
+
+	src := NewLatencyWindow(2)
+	for _, v := range []uint64{1, 2, 3} { // wrapped: holds [2 3]
+		src.Record(v)
+	}
+	dst.Merge(src) // dst: [10 2 3]
+	if got := dst.Quantile(0); got != 2 {
+		t.Fatalf("q0 after merge = %d, want 2 (overwritten 1 must not appear)", got)
+	}
+	if got := dst.Quantile(1); got != 10 {
+		t.Fatalf("q1 after merge = %d, want 10", got)
+	}
+
+	big := NewLatencyWindow(2)
+	for _, v := range []uint64{7, 8} {
+		big.Record(v)
+	}
+	dst.Merge(big) // 3+2 > 4: dst's oldest (10) evicts; holds [2 3 7 8]
+	if got := dst.Quantile(1); got != 8 {
+		t.Fatalf("q1 after overflowing merge = %d, want 8", got)
+	}
+	if got := dst.Quantile(0); got != 2 {
+		t.Fatalf("q0 after overflowing merge = %d, want 2 (10 evicted)", got)
 	}
 }

@@ -136,6 +136,11 @@ func makeRunner[S any](st *stageExec, src exec.Source[S]) stageRunner {
 		if window <= 0 {
 			window = ops.DefaultWindow
 		}
+		// Each lease runs under the stage's label frame, so per-stage cycles
+		// (and the technique frames the engines push beneath) separate in a
+		// profile of the shared core.
+		p := c.Profiler()
+		p.Push(p.Frame(st.label))
 		var sched core.RunStats
 		switch cfg.Tech {
 		case ops.Baseline:
@@ -149,6 +154,7 @@ func makeRunner[S any](st *stageExec, src exec.Source[S]) stageRunner {
 		default:
 			panic("pipeline: unknown technique")
 		}
+		p.Pop()
 		if lease == nil {
 			return leaseOutcome{exhausted: true, sched: sched}
 		}

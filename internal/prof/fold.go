@@ -1,0 +1,138 @@
+package prof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// pathLabels returns the frame labels of node id, root-first, prefixed with
+// the core name.
+func (p *CoreProf) pathLabels(id int32) []string {
+	var rev []string
+	for n := id; n > 0; n = p.nodes[n].parent {
+		rev = append(rev, p.frames[p.nodes[n].frame])
+	}
+	path := make([]string, 0, len(rev)+1)
+	path = append(path, p.name)
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	return path
+}
+
+// foldedLines renders every nonzero (context, category) cell as one folded
+// stack line "core;frame;...;category count", sorted lexicographically so
+// the export is independent of context discovery order.
+func (p *CoreProf) foldedLines() []string {
+	if p == nil {
+		return nil
+	}
+	var lines []string
+	for i := range p.nodes {
+		for c := 0; c < NumCats; c++ {
+			v := p.counts[i][c]
+			if v == 0 {
+				continue
+			}
+			parts := append(p.pathLabels(int32(i)), Cat(c).String())
+			lines = append(lines, fmt.Sprintf("%s %d", strings.Join(parts, ";"), v))
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// WriteFolded exports the profile as folded-stack flamegraph text — one
+// "core;frame;...;category count" line per nonzero cell, the input format of
+// flamegraph.pl, speedscope and pprof's -flame views. Cores export in
+// registration order, lines within a core sorted, so the output is
+// deterministic.
+func (pr *Profile) WriteFolded(w io.Writer) error {
+	if pr == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, c := range pr.Cores() {
+		for _, line := range c.foldedLines() {
+			if _, err := bw.WriteString(line); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Breakdown is a core's top-down cycle accounting: total cycles per
+// category, the net hidden fill latency per category, and the off-chip fill
+// occupancy that feeds the achieved-MLP figure.
+type Breakdown struct {
+	Name string
+	// Cats[c] is the exposed cycles charged to category c; summing over c
+	// reproduces the core's total cycles.
+	Cats [NumCats]uint64
+	// Hidden[c] is fill latency of category c kept off the critical path:
+	// hide minus the portion later exposed by demand waits.
+	Hidden [NumCats]uint64
+	// OffchipFill is the total DRAM service occupancy in cycles.
+	OffchipFill uint64
+}
+
+// Breakdown summarises the profiler's counters.
+func (p *CoreProf) Breakdown() Breakdown {
+	var b Breakdown
+	if p == nil {
+		return b
+	}
+	b.Name = p.name
+	for i := range p.counts {
+		for c := 0; c < NumCats; c++ {
+			b.Cats[c] += p.counts[i][c]
+		}
+	}
+	for c := 0; c < NumCats; c++ {
+		if p.hide[c] > p.expose[c] {
+			b.Hidden[c] = p.hide[c] - p.expose[c]
+		}
+	}
+	b.OffchipFill = p.offchip
+	return b
+}
+
+// Total is the sum over all categories — the core's attributed cycles.
+func (b Breakdown) Total() uint64 {
+	var sum uint64
+	for _, v := range b.Cats {
+		sum += v
+	}
+	return sum
+}
+
+// HiddenFraction is the share of category-cat fill latency kept off the
+// critical path: hidden / (hidden + exposed). Zero when the category saw no
+// latency at all.
+func (b Breakdown) HiddenFraction(cat Cat) float64 {
+	den := b.Hidden[cat] + b.Cats[cat]
+	if den == 0 {
+		return 0
+	}
+	return float64(b.Hidden[cat]) / float64(den)
+}
+
+// AchievedMLP is the memory-level parallelism the engine realised: total
+// off-chip fill occupancy divided by the cycles the core actually spent
+// waiting on memory (exposed DRAM stall plus MSHR-full stall). A blocking
+// baseline scores ~1 — every fill is waited out in full — while an engine
+// overlapping W misses approaches W. Zero when nothing went off-chip.
+func (b Breakdown) AchievedMLP() float64 {
+	den := b.Cats[CatDRAM] + b.Cats[CatMSHRFull]
+	if den == 0 {
+		return 0
+	}
+	return float64(b.OffchipFill) / float64(den)
+}

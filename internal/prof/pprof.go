@@ -1,0 +1,160 @@
+package prof
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"io"
+)
+
+// This file hand-rolls the pprof profile.proto encoding (gzipped protobuf)
+// so the profiler stays dependency-free. Only the subset pprof actually
+// needs is emitted: a string table, one function+location per distinct
+// frame label, and one sample per nonzero (context, category) cell with the
+// category as the leaf frame and the core name as the root frame. The time
+// axis is the simulated clock — one cycle maps to one "nanosecond", and no
+// wall-clock timestamp is written, so the export is byte-deterministic.
+
+// pbuf is a minimal protobuf wire-format builder.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) uvarint(v uint64) {
+	p.b = binary.AppendUvarint(p.b, v)
+}
+
+func (p *pbuf) keyOf(field, wire int) {
+	p.uvarint(uint64(field)<<3 | uint64(wire))
+}
+
+// varintField emits a varint-typed field, omitting the proto3 zero default.
+func (p *pbuf) varintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.keyOf(field, 0)
+	p.uvarint(v)
+}
+
+func (p *pbuf) bytesField(field int, data []byte) {
+	p.keyOf(field, 2)
+	p.uvarint(uint64(len(data)))
+	p.b = append(p.b, data...)
+}
+
+func (p *pbuf) stringField(field int, s string) {
+	p.keyOf(field, 2)
+	p.uvarint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+// packedField emits a packed repeated varint field.
+func (p *pbuf) packedField(field int, vals []uint64) {
+	var inner pbuf
+	for _, v := range vals {
+		inner.uvarint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+// WritePprof exports the profile as a gzipped pprof profile.proto, loadable
+// with `go tool pprof` (text, web and flamegraph views). Stacks read
+// root-to-leaf as core name, context frames, category; values are simulated
+// cycles. The output is byte-deterministic: no timestamp is recorded and
+// tables build in registration/first-use order.
+func (pr *Profile) WritePprof(w io.Writer) error {
+	if pr == nil {
+		return nil
+	}
+	var out pbuf
+
+	strs := []string{""}
+	strIdx := map[string]int{"": 0}
+	str := func(s string) uint64 {
+		if i, ok := strIdx[s]; ok {
+			return uint64(i)
+		}
+		strIdx[s] = len(strs)
+		strs = append(strs, s)
+		return uint64(len(strs) - 1)
+	}
+
+	funcIDs := map[string]uint64{}
+	var funcOrder []string
+	loc := func(label string) uint64 {
+		if id, ok := funcIDs[label]; ok {
+			return id
+		}
+		id := uint64(len(funcOrder) + 1)
+		funcIDs[label] = id
+		funcOrder = append(funcOrder, label)
+		return id
+	}
+
+	// Profile.sample_type: one ValueType {type: "cycles", unit: "cycles"}.
+	var vt pbuf
+	vt.varintField(1, str("cycles"))
+	vt.varintField(2, str("cycles"))
+	out.bytesField(1, vt.b)
+
+	// Profile.sample: location_ids leaf-first (category, frames deepest
+	// first, core name last), value the charged cycle count.
+	var total uint64
+	for _, c := range pr.Cores() {
+		for i := range c.nodes {
+			for cat := 0; cat < NumCats; cat++ {
+				v := c.counts[i][cat]
+				if v == 0 {
+					continue
+				}
+				total += v
+				locs := []uint64{loc(Cat(cat).String())}
+				for n := int32(i); n > 0; n = c.nodes[n].parent {
+					locs = append(locs, loc(c.frames[c.nodes[n].frame]))
+				}
+				locs = append(locs, loc(c.name))
+				var s pbuf
+				s.packedField(1, locs)
+				s.packedField(2, []uint64{v})
+				out.bytesField(2, s.b)
+			}
+		}
+	}
+
+	// One synthetic Location and Function per distinct frame label, with
+	// matching ids (no mappings or source coordinates — the "binary" here is
+	// the simulated machine).
+	for i, label := range funcOrder {
+		id := uint64(i + 1)
+		var line pbuf
+		line.varintField(1, id) // Line.function_id
+		var l pbuf
+		l.varintField(1, id) // Location.id
+		l.bytesField(4, line.b)
+		out.bytesField(4, l.b)
+
+		var f pbuf
+		f.varintField(1, id)         // Function.id
+		f.varintField(2, str(label)) // Function.name
+		out.bytesField(5, f.b)
+	}
+
+	for _, s := range strs {
+		out.stringField(6, s)
+	}
+
+	// duration_nanos: total attributed cycles, 1 cycle == 1ns on pprof's
+	// time axis (simulated time, deliberately not wall clock).
+	out.varintField(10, total)
+
+	var pt pbuf
+	pt.varintField(1, str("cycles"))
+	pt.varintField(2, str("cycles"))
+	out.bytesField(11, pt.b)
+	out.varintField(12, 1)
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(out.b); err != nil {
+		gz.Close()
+		return err
+	}
+	return gz.Close()
+}

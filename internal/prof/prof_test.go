@@ -1,0 +1,402 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestNilProfilerNoOps: every method of the disabled (nil) profiler must be
+// a safe no-op that never allocates — the simulator hot path calls them
+// unconditionally.
+func TestNilProfilerNoOps(t *testing.T) {
+	var p *CoreProf
+	var pr *Profile
+
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Push(p.Frame("x"))
+		p.PushStage(3)
+		p.Charge(CatDRAM, 17)
+		p.Hide(CatDRAM, 5)
+		p.Expose(CatDRAM, 2)
+		p.OffchipFill(9)
+		p.Pop()
+		p.ResetCounts()
+		p.Merge(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil CoreProf methods allocate: %v allocs/op", allocs)
+	}
+	if p.TotalCycles() != 0 || p.CatCycles(CatIdle) != 0 || p.Depth() != 0 || p.Name() != "" {
+		t.Fatal("nil CoreProf accessors must return zero values")
+	}
+	if pr.Core("w") != nil || pr.Cores() != nil || pr.TotalCycles() != 0 {
+		t.Fatal("nil Profile accessors must return zero values")
+	}
+	if err := pr.WriteFolded(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.WritePprof(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChargeTreeAndConservation: charges land under the current context path
+// and the per-category totals sum exactly to every cycle charged.
+func TestChargeTreeAndConservation(t *testing.T) {
+	p := NewCoreProf("core")
+	amac := p.Frame("AMAC")
+	p.Charge(CatIdle, 3) // root-level charge
+	p.Push(amac)
+	p.Charge(CatCompute, 10)
+	p.PushStage(0)
+	p.Charge(CatDRAM, 100)
+	p.Pop()
+	p.PushStage(2)
+	p.Charge(CatDRAM, 50)
+	p.Charge(CatL2, 7)
+	p.Pop()
+	p.Pop()
+	if d := p.Depth(); d != 0 {
+		t.Fatalf("Depth = %d after balanced push/pop, want 0", d)
+	}
+
+	if got, want := p.TotalCycles(), uint64(3+10+100+50+7); got != want {
+		t.Fatalf("TotalCycles = %d, want %d", got, want)
+	}
+	if got := p.CatCycles(CatDRAM); got != 150 {
+		t.Fatalf("CatCycles(DRAM) = %d, want 150", got)
+	}
+	if got := p.SumUnder("AMAC", CatDRAM); got != 150 {
+		t.Fatalf("SumUnder(AMAC, DRAM) = %d, want 150", got)
+	}
+	if got := p.SumUnder("stage 2", CatDRAM); got != 50 {
+		t.Fatalf("SumUnder(stage 2, DRAM) = %d, want 50", got)
+	}
+	if got := p.SumUnder("absent", CatDRAM); got != 0 {
+		t.Fatalf("SumUnder(absent) = %d, want 0", got)
+	}
+
+	b := p.Breakdown()
+	if b.Total() != p.TotalCycles() {
+		t.Fatalf("Breakdown.Total = %d, want %d", b.Total(), p.TotalCycles())
+	}
+}
+
+// TestUnbalancedPopPanics: an unmatched Pop is an instrumentation bug and
+// must fail loudly.
+func TestUnbalancedPopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on an empty stack did not panic")
+		}
+	}()
+	NewCoreProf("core").Pop()
+}
+
+// TestFoldedDeterministicOrder: two profilers visiting the same contexts in
+// different orders must render identical folded output.
+func TestFoldedDeterministicOrder(t *testing.T) {
+	build := func(order []string) string {
+		pr := NewProfile()
+		p := pr.Core("w0")
+		for _, label := range order {
+			p.Push(p.Frame(label))
+			p.PushStage(1)
+			p.Charge(CatDRAM, 10)
+			p.Pop()
+			p.Charge(CatCompute, 5)
+			p.Pop()
+		}
+		var buf bytes.Buffer
+		if err := pr.WriteFolded(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a := build([]string{"GP", "AMAC", "Baseline"})
+	b := build([]string{"Baseline", "GP", "AMAC"})
+	if a != b {
+		t.Fatalf("folded output depends on discovery order:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "w0;AMAC;stage 1;DRAM 10") {
+		t.Fatalf("folded output missing expected line:\n%s", a)
+	}
+}
+
+// TestMergeByPath: merging matches contexts by label path, sums counters,
+// and carries the overlap accounting.
+func TestMergeByPath(t *testing.T) {
+	mk := func(n uint64) *CoreProf {
+		p := NewCoreProf(fmt.Sprintf("w%d", n))
+		p.Push(p.Frame("AMAC"))
+		p.PushStage(1)
+		p.Charge(CatDRAM, n)
+		p.Pop()
+		p.Pop()
+		p.Push(p.Frame("probe"))
+		p.Charge(CatCompute, 2*n)
+		p.Pop()
+		p.Hide(CatDRAM, 100*n)
+		p.Expose(CatDRAM, 10*n)
+		p.OffchipFill(1000 * n)
+		return p
+	}
+	m := NewCoreProf("all")
+	m.Merge(mk(1))
+	m.Merge(mk(2))
+	if got := m.SumUnder("stage 1", CatDRAM); got != 3 {
+		t.Fatalf("merged SumUnder(stage 1, DRAM) = %d, want 3", got)
+	}
+	if got := m.SumUnder("probe", CatCompute); got != 6 {
+		t.Fatalf("merged SumUnder(probe, compute) = %d, want 6", got)
+	}
+	if got, want := m.TotalCycles(), uint64(3+6); got != want {
+		t.Fatalf("merged TotalCycles = %d, want %d", got, want)
+	}
+	b := m.Breakdown()
+	if b.Hidden[CatDRAM] != 270 {
+		t.Fatalf("merged Hidden[DRAM] = %d, want 270", b.Hidden[CatDRAM])
+	}
+	if b.OffchipFill != 3000 {
+		t.Fatalf("merged OffchipFill = %d, want 3000", b.OffchipFill)
+	}
+}
+
+// TestProfileMerged: the registry-level aggregate merges every worker.
+func TestProfileMerged(t *testing.T) {
+	pr := NewProfile()
+	for w := 0; w < 3; w++ {
+		c := pr.Core(fmt.Sprintf("worker %d", w))
+		c.Push(c.Frame("AMAC"))
+		c.Charge(CatDRAM, 10)
+		c.Pop()
+	}
+	if pr.Core("worker 1") != pr.Core("worker 1") {
+		t.Fatal("Core must re-use the registered profiler")
+	}
+	m := pr.Merged("service")
+	if got := m.SumUnder("AMAC", CatDRAM); got != 30 {
+		t.Fatalf("Merged SumUnder = %d, want 30", got)
+	}
+	if pr.TotalCycles() != 30 {
+		t.Fatalf("Profile.TotalCycles = %d, want 30", pr.TotalCycles())
+	}
+}
+
+// TestResetCountsKeepsContext: a mid-run reset zeroes counters but keeps the
+// live stack so balanced instrumentation can continue.
+func TestResetCountsKeepsContext(t *testing.T) {
+	p := NewCoreProf("core")
+	p.Push(p.Frame("warm"))
+	p.Charge(CatDRAM, 99)
+	p.Hide(CatDRAM, 5)
+	p.OffchipFill(7)
+	p.ResetCounts()
+	if p.TotalCycles() != 0 {
+		t.Fatalf("TotalCycles after reset = %d, want 0", p.TotalCycles())
+	}
+	b := p.Breakdown()
+	if b.Hidden[CatDRAM] != 0 || b.OffchipFill != 0 {
+		t.Fatal("overlap counters survived ResetCounts")
+	}
+	if p.Depth() != 1 {
+		t.Fatalf("Depth after reset = %d, want 1 (stack preserved)", p.Depth())
+	}
+	p.Charge(CatCompute, 4)
+	p.Pop() // must not panic: the warm frame is still on the stack
+	if p.TotalCycles() != 4 {
+		t.Fatalf("TotalCycles = %d, want 4", p.TotalCycles())
+	}
+}
+
+// TestHiddenFractionAndMLP: the overlap arithmetic behind the profN table.
+func TestHiddenFractionAndMLP(t *testing.T) {
+	p := NewCoreProf("core")
+	p.Hide(CatDRAM, 900)
+	p.Expose(CatDRAM, 100)
+	p.Charge(CatDRAM, 200)    // exposed DRAM stall
+	p.Charge(CatMSHRFull, 50) // exposed MSHR pressure
+	p.OffchipFill(1000)
+	b := p.Breakdown()
+	if got, want := b.Hidden[CatDRAM], uint64(800); got != want {
+		t.Fatalf("Hidden[DRAM] = %d, want %d", got, want)
+	}
+	if got, want := b.HiddenFraction(CatDRAM), 0.8; got != want {
+		t.Fatalf("HiddenFraction = %v, want %v", got, want)
+	}
+	if got, want := b.AchievedMLP(), 4.0; got != want {
+		t.Fatalf("AchievedMLP = %v, want %v", got, want)
+	}
+	var empty Breakdown
+	if empty.AchievedMLP() != 0 || empty.HiddenFraction(CatDRAM) != 0 {
+		t.Fatal("empty breakdown ratios must be zero")
+	}
+}
+
+// pprofDoc is the subset of profile.proto the decode test cares about.
+type pprofDoc struct {
+	strings   []string
+	samples   int
+	locations map[uint64]uint64 // location id -> function id
+	functions map[uint64]uint64 // function id -> name string index
+	sampleSum uint64
+	duration  uint64
+}
+
+// parsePprof walks the wire format with a minimal field scanner.
+func parsePprof(t *testing.T, raw []byte) pprofDoc {
+	t.Helper()
+	doc := pprofDoc{locations: map[uint64]uint64{}, functions: map[uint64]uint64{}}
+	fields := scanFields(t, raw)
+	for _, f := range fields {
+		switch f.num {
+		case 2: // Sample
+			doc.samples++
+			for _, sf := range scanFields(t, f.data) {
+				if sf.num == 2 { // packed values
+					v, _ := binary.Uvarint(sf.data)
+					doc.sampleSum += v
+				}
+			}
+		case 4: // Location
+			var id, fn uint64
+			for _, lf := range scanFields(t, f.data) {
+				switch lf.num {
+				case 1:
+					id = lf.varint
+				case 4: // Line
+					for _, nf := range scanFields(t, lf.data) {
+						if nf.num == 1 {
+							fn = nf.varint
+						}
+					}
+				}
+			}
+			doc.locations[id] = fn
+		case 5: // Function
+			var id, name uint64
+			for _, ff := range scanFields(t, f.data) {
+				switch ff.num {
+				case 1:
+					id = ff.varint
+				case 2:
+					name = ff.varint
+				}
+			}
+			doc.functions[id] = name
+		case 6:
+			doc.strings = append(doc.strings, string(f.data))
+		case 10:
+			doc.duration = f.varint
+		}
+	}
+	return doc
+}
+
+type pbField struct {
+	num    int
+	varint uint64
+	data   []byte
+}
+
+func scanFields(t *testing.T, b []byte) []pbField {
+	t.Helper()
+	var out []pbField
+	for len(b) > 0 {
+		key, n := binary.Uvarint(b)
+		if n <= 0 {
+			t.Fatal("bad varint key")
+		}
+		b = b[n:]
+		f := pbField{num: int(key >> 3)}
+		switch key & 7 {
+		case 0:
+			v, n := binary.Uvarint(b)
+			if n <= 0 {
+				t.Fatal("bad varint value")
+			}
+			f.varint = v
+			b = b[n:]
+		case 2:
+			l, n := binary.Uvarint(b)
+			if n <= 0 || uint64(len(b)-n) < l {
+				t.Fatal("bad length-delimited field")
+			}
+			f.data = b[n : n+int(l)]
+			b = b[n+int(l):]
+		default:
+			t.Fatalf("unexpected wire type %d", key&7)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// TestPprofExportDecodes: the gzipped protobuf must decode back into a
+// consistent profile — every sample's cycles accounted, every location
+// backed by a function, and the attribution labels present in the string
+// table — and be byte-deterministic across writes.
+func TestPprofExportDecodes(t *testing.T) {
+	pr := NewProfile()
+	p := pr.Core("worker 0")
+	p.Push(p.Frame("AMAC"))
+	p.PushStage(1)
+	p.Charge(CatDRAM, 123)
+	p.Pop()
+	p.Charge(CatCompute, 45)
+	p.Pop()
+
+	var buf1, buf2 bytes.Buffer
+	if err := pr.WritePprof(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.WritePprof(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("pprof export is not byte-deterministic")
+	}
+
+	gz, err := gzip.NewReader(&buf1)
+	if err != nil {
+		t.Fatalf("export is not gzipped: %v", err)
+	}
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := parsePprof(t, raw)
+
+	if doc.samples != 2 {
+		t.Fatalf("samples = %d, want 2", doc.samples)
+	}
+	if doc.sampleSum != 168 || doc.duration != 168 {
+		t.Fatalf("sample sum / duration = %d/%d, want 168/168", doc.sampleSum, doc.duration)
+	}
+	if len(doc.strings) == 0 || doc.strings[0] != "" {
+		t.Fatal("string table must start with the empty string")
+	}
+	have := map[string]bool{}
+	for _, s := range doc.strings {
+		have[s] = true
+	}
+	for _, want := range []string{"worker 0", "AMAC", "stage 1", "DRAM", "compute", "cycles"} {
+		if !have[want] {
+			t.Fatalf("string table missing %q: %v", want, doc.strings)
+		}
+	}
+	for id, fn := range doc.locations {
+		nameIdx, ok := doc.functions[fn]
+		if !ok {
+			t.Fatalf("location %d references unknown function %d", id, fn)
+		}
+		if nameIdx == 0 || int(nameIdx) >= len(doc.strings) {
+			t.Fatalf("function %d has invalid name index %d", fn, nameIdx)
+		}
+	}
+}

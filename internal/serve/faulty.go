@@ -398,6 +398,7 @@ func RunFaulty[S any](opts FaultyOptions, workers []Worker[S]) Result {
 			opts.Prepare(w, cores[w])
 		}
 		cores[w].ResetStats()
+		cores[w].SetProfiler(opts.Profile.Core(fmt.Sprintf("worker %d", w)))
 		sources[w] = NewQueueSource(workers[w].Machine, arr[w], opts.QueueCap, opts.Policy, nil)
 		trs[w] = opts.Trace.Core(fmt.Sprintf("worker %d", w))
 		if trs[w] == nil && opts.Metrics != nil {
@@ -555,8 +556,12 @@ func RunFaulty[S any](opts FaultyOptions, workers []Worker[S]) Result {
 				down[w] = false
 				if !engDone[w] && cores[w].Cycle() < downUntil[w] {
 					// The shard did nothing while down; its clock jumps to
-					// the episode end as pure idle time.
+					// the episode end as pure idle time, charged under the
+					// "down" frame to keep it apart from queue idle.
+					p := cores[w].Profiler()
+					p.Push(p.Frame("down"))
 					cores[w].AdvanceTo(downUntil[w])
+					p.Pop()
 				}
 			}
 		}
@@ -630,6 +635,7 @@ func RunFaulty[S any](opts FaultyOptions, workers []Worker[S]) Result {
 		res.Faults.Merge(&info)
 		sources[w].Close()
 		cores[w].SetCycleHook(0, nil)
+		cores[w].SetProfiler(nil)
 		pooled[w].Release()
 	}
 	return res

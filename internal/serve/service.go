@@ -10,6 +10,7 @@ import (
 	"amac/internal/memsim"
 	"amac/internal/obs"
 	"amac/internal/ops"
+	"amac/internal/prof"
 )
 
 // RunSource drives one streaming engine over one source on one core: the
@@ -83,6 +84,11 @@ type Options struct {
 	// Metrics.Interval() simulated cycles via the core's cycle hook. Purely
 	// observational, like Trace.
 	Metrics *obs.Metrics
+	// Profile, if non-nil, attributes every worker's cycles ("worker N"
+	// cores, registered in worker order) to engine/stage/queue-wait contexts.
+	// Purely observational, like Trace; merge the per-worker profiles with
+	// Profile.Merged for a service-wide flamegraph.
+	Profile *prof.Profile
 	// SLO, when enabled, gives every worker an SLO brownout: the shard's
 	// sliding p99 against the budget sheds request classes at admission, and
 	// adaptive runs additionally bias exploit leases onto AMAC (the
@@ -161,6 +167,7 @@ func Run[S any](opts Options, workers []Worker[S]) Result {
 			opts.Prepare(w, cores[w])
 		}
 		cores[w].ResetStats()
+		cores[w].SetProfiler(opts.Profile.Core(fmt.Sprintf("worker %d", w)))
 		sources[w] = NewQueueSource(workers[w].Machine, workers[w].Arrivals, opts.QueueCap, opts.Policy, nil)
 		// Tracks register here, in worker order on one goroutine, so the
 		// exported trace's process layout is deterministic regardless of the
@@ -241,7 +248,8 @@ func Run[S any](opts Options, workers []Worker[S]) Result {
 		res.PerWorker = append(res.PerWorker, wr)
 		res.Latency.Merge(sources[w].Recorder())
 		sources[w].Close()
-		cores[w].SetCycleHook(0, nil) // pooled core: never leak a hook past the run
+		cores[w].SetCycleHook(0, nil) // pooled core: never leak a hook or profiler past the run
+		cores[w].SetProfiler(nil)
 		pooled[w].Release()
 	}
 	return res
